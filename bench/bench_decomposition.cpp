@@ -1,0 +1,82 @@
+/// \file bench_decomposition.cpp
+/// Domain-decomposition ablation: the three methods of Tables 3/4 —
+/// "Straightforward" 1D slabs (SPHYNX), ORB (SPH-flow), SFC with Morton and
+/// Hilbert curves (ChaNGa / mini-app) — compared on particle balance, halo
+/// (ghost) fraction, and halo bytes, on both test-case geometries. The halo
+/// fraction is the direct driver of communication volume and of the
+/// strong-scaling stall (Sec. 5.2).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/config.hpp"
+#include "perf/cluster_sim.hpp"
+
+using namespace sphexa;
+using namespace sphexa::bench;
+
+namespace {
+
+struct Method
+{
+    std::string name;
+    DecompositionMethod method;
+    SfcCurve curve;
+};
+
+void runCase(TestCase tc, const char* title)
+{
+    Box<double> box;
+    auto ps = makeProbeIC<double>(tc, box);
+
+    SimulationConfig<double> cfg;
+    cfg.targetNeighbors   = 100;
+    cfg.neighborTolerance = 20;
+
+    std::vector<Method> methods{
+        {"Slab1D (straightforward)", DecompositionMethod::Slab1D, SfcCurve::Morton},
+        {"ORB", DecompositionMethod::OrthogonalRecursiveBisection, SfcCurve::Morton},
+        {"SFC Morton", DecompositionMethod::SpaceFillingCurve, SfcCurve::Morton},
+        {"SFC Hilbert", DecompositionMethod::SpaceFillingCurve, SfcCurve::Hilbert},
+    };
+
+    std::printf("\n-- %s (%zu particles) --\n", title, ps.size());
+    std::printf("%-26s %6s %12s %14s %16s %14s\n", "method", "ranks", "imbalance",
+                "ghost-frac", "halo KiB/rank", "msgs/rank");
+    for (const auto& m : methods)
+    {
+        cfg.decomposition = m.method;
+        cfg.sfcCurve      = m.curve;
+        for (int ranks : {8, 32})
+        {
+            auto probe = probeWorkload(ps, box, cfg, ranks);
+            double ghosts = 0, locals = 0, bytes = 0, msgs = 0;
+            for (int r = 0; r < ranks; ++r)
+            {
+                ghosts += double(probe.treeParticles[r] - probe.localParticles[r]);
+                locals += double(probe.localParticles[r]);
+                bytes += double(probe.haloBytesSent[r]);
+                msgs += double(probe.haloMessagesSent[r]);
+            }
+            std::printf("%-26s %6d %12.3f %14.3f %16.1f %14.0f\n", m.name.c_str(), ranks,
+                        probe.interactionImbalance(), ghosts / locals,
+                        bytes / 1024.0 / ranks, msgs / ranks);
+        }
+    }
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("== Decomposition ablation: balance and halo cost ==\n");
+    runCase(TestCase::SquarePatch, "rotating square patch");
+    runCase(TestCase::Evrard, "Evrard collapse (centrally condensed)");
+    std::printf("\nreadout: slabs balance particle counts but pay the largest ghost\n"
+                "fraction (faces span the whole domain); ORB and the SFC curves trade\n"
+                "slightly rougher balance for much smaller halos — Hilbert < Morton in\n"
+                "halo size thanks to better locality.\n");
+    return 0;
+}

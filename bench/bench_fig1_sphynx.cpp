@@ -1,0 +1,46 @@
+/// \file bench_fig1_sphynx.cpp
+/// Figure 1 reproduction: SPHYNX strong scalability.
+///   (b) rotating square patch, Piz Daint + MareNostrum, 12..384 cores
+///   (c) Evrard collapse,       Piz Daint + MareNostrum, 12..384 cores
+/// Average time per time-step; the model is anchored at the paper's
+/// 12-core Piz Daint measurement of each curve (38.25 s square, 40.27 s
+/// Evrard), everything else follows from the probe + machine model.
+
+#include "bench_common.hpp"
+
+using namespace sphexa;
+using namespace sphexa::bench;
+
+int main()
+{
+    auto profile = sphynxProfile<double>();
+    auto cm      = CostModel::calibrate();
+    std::vector<int> cores{12, 24, 48, 96, 192, 384};
+
+    // Figure 1(b): square patch
+    {
+        auto daint = runScalingCurve(TestCase::SquarePatch, profile, pizDaint(), cores,
+                                     38.25, cm);
+        auto mn = runScalingCurve(TestCase::SquarePatch, profile, mareNostrum4(), cores,
+                                  38.25 * 1.05, cm);
+        PaperRefs refs{{12, 38.25}, {48, 11.06}, {384, 2.79}};
+        printFigure("Figure 1(b): SPHYNX, rotating square patch", {daint, mn}, refs);
+        printShapeSummary(daint, targetParticles());
+    }
+
+    // Figure 1(c): Evrard collapse
+    {
+        auto daint =
+            runScalingCurve(TestCase::Evrard, profile, pizDaint(), cores, 40.27, cm);
+        auto mn = runScalingCurve(TestCase::Evrard, profile, mareNostrum4(), cores,
+                                  40.27 * 1.05, cm);
+        PaperRefs refs{{12, 40.27}, {48, 12.55}, {384, 3.86}};
+        printFigure("Figure 1(c): SPHYNX, Evrard collapse (with self-gravity)",
+                    {daint, mn}, refs);
+        printShapeSummary(daint, targetParticles());
+    }
+
+    std::printf("\npaper column: the y-axis tick values printed in Fig. 1 "
+                "(38.25/11.06/2.79 s and 40.27/12.55/3.86 s).\n");
+    return 0;
+}

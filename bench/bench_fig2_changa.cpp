@@ -1,0 +1,41 @@
+/// \file bench_fig2_changa.cpp
+/// Figure 2 reproduction: ChaNGa strong scalability on Piz Daint.
+///   (b) rotating square patch, 12..1536 cores  (anchor 738.0 s at 12)
+///   (c) Evrard collapse,       12..1536 cores  (anchor 30.38 s at 12)
+/// ChaNGa's configuration (Table 1) drives the differences: individual
+/// time-stepping with individual tree walks, standard volume elements,
+/// 16-pole gravity — and a gravity-first tree code exercised by a pure-CFD
+/// test (the square patch), which is why its absolute square-patch times
+/// are ~19x SPHYNX's while its Evrard times are competitive.
+
+#include "bench_common.hpp"
+
+using namespace sphexa;
+using namespace sphexa::bench;
+
+int main()
+{
+    auto profile = changaProfile<double>();
+    auto cm      = CostModel::calibrate();
+    std::vector<int> cores{12, 24, 48, 96, 192, 384, 768, 1536};
+
+    {
+        auto daint = runScalingCurve(TestCase::SquarePatch, profile, pizDaint(), cores,
+                                     738.0, cm);
+        PaperRefs refs{{12, 738.0}, {48, 253.5}, {1536, 93.0}};
+        printFigure("Figure 2(b): ChaNGa, rotating square patch (Piz Daint)", {daint},
+                    refs);
+        printShapeSummary(daint, targetParticles());
+    }
+    {
+        auto daint =
+            runScalingCurve(TestCase::Evrard, profile, pizDaint(), cores, 30.38, cm);
+        PaperRefs refs{{12, 30.38}, {48, 10.29}, {1536, 5.74}};
+        printFigure("Figure 2(c): ChaNGa, Evrard collapse (Piz Daint)", {daint}, refs);
+        printShapeSummary(daint, targetParticles());
+    }
+
+    std::printf("\nNote the cross-code shape of the paper: ChaNGa >> SPHYNX on the\n"
+                "square patch but competitive on Evrard (its gravity-oriented design).\n");
+    return 0;
+}

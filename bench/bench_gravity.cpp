@@ -1,0 +1,104 @@
+/// \file bench_gravity.cpp
+/// Self-gravity ablation: cost AND accuracy of the Barnes-Hut solver across
+/// multipole orders (2-pole .. 16-pole, Table 1's SPHYNX-vs-ChaNGa choice)
+/// and opening angles. Prints a combined table: the trade-off that decides
+/// between SPHYNX's 4-pole and ChaNGa's 16-pole configurations.
+
+#include <cmath>
+#include <cstdio>
+
+#include "math/rng.hpp"
+#include "perf/timer.hpp"
+#include "sph/particles.hpp"
+#include "tree/gravity.hpp"
+#include "tree/octree.hpp"
+
+using namespace sphexa;
+
+namespace {
+
+ParticleSetD plummerCluster(std::size_t n)
+{
+    ParticleSetD ps(n);
+    Xoshiro256pp rng(7);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        ps.x[i] = 0.5 + 0.08 * rng.normal();
+        ps.y[i] = 0.5 + 0.08 * rng.normal();
+        ps.z[i] = 0.5 + 0.08 * rng.normal();
+        ps.m[i] = 1.0 / double(n);
+    }
+    return ps;
+}
+
+} // namespace
+
+int main()
+{
+    const std::size_t n = 8000;
+    auto ps = plummerCluster(n);
+
+    // reference: direct sum
+    auto ref = ps;
+    GravityParams<double> pref;
+    Timer t;
+    GravitySolver<double>::directSum(ref, pref);
+    double directSeconds = t.elapsed();
+
+    std::printf("== Gravity ablation: multipole order x opening angle (N=%zu) ==\n\n", n);
+    std::printf("direct sum reference: %.3f s\n\n", directSeconds);
+    std::printf("%-22s %6s %12s %12s %14s %12s\n", "order", "theta", "seconds",
+                "speedup", "rms_acc_err", "interactions");
+
+    for (auto order : {MultipoleOrder::Monopole, MultipoleOrder::Quadrupole,
+                       MultipoleOrder::Octupole, MultipoleOrder::Hexadecapole})
+    {
+        for (double theta : {0.8, 0.5, 0.3})
+        {
+            // the generic tensor contraction of the high orders is costly;
+            // skip the tightest MAC there to keep the bench budget small
+            if (order >= MultipoleOrder::Octupole && theta < 0.4) continue;
+            GravityParams<double> params;
+            params.order = order;
+            params.theta = theta;
+
+            auto work = ps;
+            Box<double> box = computeBoundingBox<double>(work.x, work.y, work.z);
+            Octree<double> tree;
+            Octree<double>::BuildParams bp;
+            bp.leafSize = 16;
+            tree.build(work.x, work.y, work.z, box, bp);
+
+            GravitySolver<double> solver;
+            solver.prepare(tree, work, params);
+            std::fill(work.ax.begin(), work.ax.end(), 0.0);
+            std::fill(work.ay.begin(), work.ay.end(), 0.0);
+            std::fill(work.az.begin(), work.az.end(), 0.0);
+
+            Timer tt;
+            GravityStats stats;
+            solver.accumulate(work, &stats);
+            double secs = tt.elapsed();
+
+            double num = 0, den = 0;
+            for (std::size_t i = 0; i < n; ++i)
+            {
+                double dx = work.ax[i] - ref.ax[i];
+                double dy = work.ay[i] - ref.ay[i];
+                double dz = work.az[i] - ref.az[i];
+                num += dx * dx + dy * dy + dz * dz;
+                den += ref.ax[i] * ref.ax[i] + ref.ay[i] * ref.ay[i] +
+                       ref.az[i] * ref.az[i];
+            }
+            std::printf("%-22s %6.2f %12.4f %12.1fx %14.2e %12zu\n",
+                        std::string(multipoleOrderName(order)).c_str(), theta, secs,
+                        directSeconds / secs, std::sqrt(num / den),
+                        stats.p2pInteractions + stats.m2pInteractions);
+        }
+    }
+
+    std::printf("\nreadout: higher order buys accuracy at fixed theta; a higher order\n"
+                "with wide theta can beat a low order with tight theta on both axes —\n"
+                "the rationale for ChaNGa's hexadecapole choice.\n");
+    return 0;
+}

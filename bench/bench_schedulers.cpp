@@ -1,0 +1,82 @@
+/// \file bench_schedulers.cpp
+/// Load-balancing ablation: the self-scheduling strategies of Table 4
+/// ("DLB with self-scheduling") under three workload shapes — uniform,
+/// linearly increasing, and SPH-like (per-particle cost proportional to the
+/// real neighbor counts of an Evrard probe, whose central condensation is
+/// exactly the imbalance the paper attributes to "multi-time-stepping" and
+/// clustering). Reports achieved load balance and scheduling overhead.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "parallel/schedulers.hpp"
+#include "tree/neighbors.hpp"
+#include "tree/octree.hpp"
+
+using namespace sphexa;
+using namespace sphexa::bench;
+
+namespace {
+
+std::vector<double> evrardNeighborWeights()
+{
+    Box<double> box;
+    auto ps = makeProbeIC<double>(TestCase::Evrard, box);
+    Octree<double> tree;
+    tree.build(ps.x, ps.y, ps.z, box);
+    NeighborList<double> nl(ps.size(), 384);
+    findNeighborsGlobal(tree, ps.x, ps.y, ps.z, ps.h, nl);
+    std::vector<double> w(ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i)
+        w[i] = 1.0 + double(nl.count(i));
+    return w;
+}
+
+void runWorkload(const char* name, const std::vector<double>& weights)
+{
+    const std::size_t workers = 8;
+    auto body = [&](std::size_t i) {
+        volatile double sink = 0;
+        auto reps = std::size_t(weights[i] * 20);
+        for (std::size_t k = 0; k < reps; ++k)
+            sink = sink + double(k);
+    };
+
+    std::printf("\n-- workload: %s (%zu iterations, %zu workers) --\n", name,
+                weights.size(), workers);
+    std::printf("%-8s %14s %12s %14s\n", "sched", "loadBalance", "chunks", "wall_ms");
+    for (auto s : {SchedulingStrategy::Static, SchedulingStrategy::SelfScheduling,
+                   SchedulingStrategy::Guided, SchedulingStrategy::Trapezoid,
+                   SchedulingStrategy::Factoring,
+                   SchedulingStrategy::AdaptiveWeightedFactoring})
+    {
+        auto rep = executeLoop(weights.size(), workers, s, body);
+        std::printf("%-8s %14.3f %12zu %14.2f\n",
+                    std::string(schedulingName(s)).c_str(), rep.loadBalance(),
+                    rep.chunks, rep.wallSeconds * 1e3);
+    }
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("== Scheduling ablation (Table 4: DLB with self-scheduling) ==\n");
+
+    std::vector<double> uniform(20000, 1.0);
+    runWorkload("uniform", uniform);
+
+    std::vector<double> ramp(20000);
+    for (std::size_t i = 0; i < ramp.size(); ++i)
+        ramp[i] = 0.1 + 2.0 * double(i) / double(ramp.size());
+    runWorkload("linear ramp", ramp);
+
+    auto evrard = evrardNeighborWeights();
+    runWorkload("SPH neighbor counts (Evrard probe)", evrard);
+
+    std::printf("\nreadout: STATIC suffices for uniform work; the factoring family\n"
+                "(FAC/AWF, refs [3,27] of the paper) holds balance on irregular\n"
+                "workloads at a fraction of pure self-scheduling's overhead.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/// \file bench_timestepping.cpp
+/// Time-stepping ablation: Global vs Individual (2^k bins) vs Adaptive —
+/// Table 2's three modes. On the Evrard collapse the per-particle stable
+/// steps span a wide range (dense center vs diffuse edge), so individual
+/// stepping skips most force evaluations; the paper flags the same feature
+/// as a load-imbalance source (Sec. 4). Reports work saved and the
+/// active-set statistics per mode.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+
+using namespace sphexa;
+using namespace sphexa::bench;
+
+int main()
+{
+    Box<double> box;
+    auto ic = makeProbeIC<double>(TestCase::Evrard, box);
+
+    std::printf("== Time-stepping ablation (Evrard, %zu particles) ==\n\n", ic.size());
+    std::printf("%-12s %8s %16s %16s %14s\n", "mode", "steps", "interactions",
+                "active/step", "sim-time");
+
+    for (auto mode : {TimesteppingMode::Global, TimesteppingMode::Adaptive,
+                      TimesteppingMode::Individual})
+    {
+        SimulationConfig<double> cfg = sphynxProfile<double>().config;
+        cfg.selfGravity       = true;
+        cfg.gravity.G         = 1;
+        cfg.gravity.theta     = 0.5;
+        cfg.gravity.softening = 0.02;
+        cfg.targetNeighbors   = 80;
+        cfg.timestep.mode     = mode;
+        cfg.neighborMode      = mode == TimesteppingMode::Individual
+                                    ? NeighborMode::IndividualTreeWalk
+                                    : NeighborMode::GlobalTreeWalk;
+
+        Eos<double> eos{IdealGasEos<double>(5.0 / 3.0)};
+        Simulation<double> sim(ic, box, eos, cfg);
+        sim.computeForces();
+
+        const int steps = 12;
+        std::size_t interactions = 0, activeSum = 0;
+        for (int s = 0; s < steps; ++s)
+        {
+            auto rep = sim.advance();
+            // only active particles' interactions are recomputed
+            interactions +=
+                std::size_t(double(rep.neighborInteractions) *
+                            double(rep.activeParticles) / double(ic.size()));
+            activeSum += rep.activeParticles;
+        }
+        std::printf("%-12s %8d %16zu %16zu %14.5f\n",
+                    std::string(timesteppingName(mode)).c_str(), steps, interactions,
+                    activeSum / steps, sim.time());
+    }
+
+    std::printf("\nreadout: individual (2^k-bin) stepping cuts the recomputed\n"
+                "interaction count by keeping most particles inactive per base step —\n"
+                "the work saving that motivates ChaNGa's design, at the price of the\n"
+                "load imbalance the paper highlights.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file config.hpp
+/// Feature configuration of the mini-app: the runtime-selectable options of
+/// Tables 2 and 4 of the paper. A SimulationConfig fully determines which
+/// algorithm variants the driver executes; the parent-code emulation
+/// profiles (code_profiles.hpp) are simply named presets of this struct.
+
+#include <cstddef>
+#include <string>
+
+#include "sph/density.hpp"
+#include "sph/iad.hpp"
+#include "sph/kernels.hpp"
+#include "sph/momentum_energy.hpp"
+#include "sph/timestep.hpp"
+#include "tree/gravity.hpp"
+#include "tree/hilbert.hpp"
+#include "tree/multipole.hpp"
+
+namespace sphexa {
+
+/// Neighbor discovery mode (Table 1: "Global Tree Walk" vs individual).
+enum class NeighborMode
+{
+    GlobalTreeWalk,
+    IndividualTreeWalk,
+};
+
+constexpr std::string_view neighborModeName(NeighborMode m)
+{
+    return m == NeighborMode::GlobalTreeWalk ? "Global Tree Walk" : "Individual Tree Walk";
+}
+
+/// Domain decomposition method (Tables 3 and 4). Slab1D is SPHYNX's
+/// "Straightforward" decomposition: contiguous slabs along one axis —
+/// simple, but with the worst surface-to-volume ratio of the three.
+enum class DecompositionMethod
+{
+    OrthogonalRecursiveBisection,
+    SpaceFillingCurve,
+    Slab1D,
+};
+
+constexpr std::string_view decompositionName(DecompositionMethod m)
+{
+    switch (m)
+    {
+        case DecompositionMethod::OrthogonalRecursiveBisection:
+            return "Orthogonal Recursive Bisection";
+        case DecompositionMethod::SpaceFillingCurve: return "Space Filling Curve";
+        case DecompositionMethod::Slab1D: return "Straightforward (1D slabs)";
+    }
+    return "?";
+}
+
+/// Scientific + computer-science feature selection for one simulation.
+template<class T>
+struct SimulationConfig
+{
+    // --- scientific features (Table 2) ---
+    KernelType kernel = KernelType::Sinc;
+    T sincExponent    = T(5);
+    GradientMode gradients = GradientMode::IAD;
+    VolumeElements volumeElements = VolumeElements::Generalized;
+    T veExponent = T(0.9);
+    TimestepParams<T> timestep{};
+    NeighborMode neighborMode = NeighborMode::GlobalTreeWalk;
+
+    bool selfGravity = false;
+    GravityParams<T> gravity{};
+
+    ArtificialViscosity<T> av{};
+
+    // --- discretization control ---
+    unsigned targetNeighbors = 100;  ///< ~10^2 per the paper
+    unsigned neighborTolerance = 10;
+    unsigned ngmax = 384;            ///< neighbor list capacity
+    unsigned treeLeafSize = 64;
+    SfcCurve sfcCurve = SfcCurve::Morton;
+    bool parallelTreeBuild = false;  ///< SPHYNX v1.3.1 built its tree serially
+    bool symmetrizeNeighbors = true; ///< exact pairwise momentum conservation
+
+    // --- CS features (Table 4), used by the distributed driver ---
+    DecompositionMethod decomposition = DecompositionMethod::SpaceFillingCurve;
+};
+
+} // namespace sphexa

@@ -1,0 +1,333 @@
+#pragma once
+
+/// \file simulation.hpp
+/// The mini-app driver: Algorithm 1 of the paper, instrumented per phase.
+///
+///   while target time not reached:
+///     1. Build tree                      (phase A)
+///     2. Find neighbors + smoothing len  (phases B, C, D)
+///     3. SPH & physics kernels           (phases E..H)
+///     4. (optional) self-gravity         (phase I)
+///     5. New time-step                   (phase J)
+///     6. Update velocity and position    (phase J)
+///
+/// The phase letters match the Extrae timeline of Fig. 4 so the tracer can
+/// reproduce that figure. Phase mapping:
+///   A tree build · B global neighbor walk · C h-iteration re-walks ·
+///   D neighbor-list symmetrization · E density (+VE weights) ·
+///   F EOS + IAD coefficients · G velocity div/curl (Balsara) ·
+///   H momentum & energy · I self-gravity · J time-step + update.
+///
+/// This driver is the shared-memory (single-rank, OpenMP) engine; the
+/// distributed-memory driver (domain/distributed.hpp) runs one of these per
+/// simulated rank over a decomposed domain.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+
+#include "core/config.hpp"
+#include "domain/box.hpp"
+#include "perf/timer.hpp"
+#include "sph/conservation.hpp"
+#include "sph/density.hpp"
+#include "sph/divcurl.hpp"
+#include "sph/eos.hpp"
+#include "sph/integrator.hpp"
+#include "sph/iad.hpp"
+#include "sph/kernels.hpp"
+#include "sph/momentum_energy.hpp"
+#include "sph/particles.hpp"
+#include "sph/smoothing_length.hpp"
+#include "sph/timestep.hpp"
+#include "tree/gravity.hpp"
+#include "tree/neighbors.hpp"
+#include "tree/octree.hpp"
+
+namespace sphexa {
+
+/// Workflow phases, lettered as in the paper's Fig. 4.
+enum class Phase : int
+{
+    A_TreeBuild = 0,
+    B_NeighborSearch,
+    C_SmoothingLength,
+    D_NeighborSymmetrize,
+    E_Density,
+    F_EosAndIad,
+    G_DivCurl,
+    H_MomentumEnergy,
+    I_SelfGravity,
+    J_TimestepUpdate,
+    Count
+};
+
+constexpr int phaseCount = int(Phase::Count);
+
+constexpr std::string_view phaseName(Phase p)
+{
+    switch (p)
+    {
+        case Phase::A_TreeBuild: return "A:tree-build";
+        case Phase::B_NeighborSearch: return "B:neighbor-search";
+        case Phase::C_SmoothingLength: return "C:smoothing-length";
+        case Phase::D_NeighborSymmetrize: return "D:neighbor-symmetrize";
+        case Phase::E_Density: return "E:density";
+        case Phase::F_EosAndIad: return "F:eos+iad";
+        case Phase::G_DivCurl: return "G:div-curl";
+        case Phase::H_MomentumEnergy: return "H:momentum-energy";
+        case Phase::I_SelfGravity: return "I:self-gravity";
+        case Phase::J_TimestepUpdate: return "J:timestep-update";
+        default: return "?";
+    }
+}
+
+/// Per-step report: timings and work counters, the raw material of the
+/// performance experiments.
+template<class T>
+struct StepReport
+{
+    std::uint64_t step = 0;
+    T time = T(0);      ///< simulated time after the step
+    T dt = T(0);        ///< step size used
+    std::array<double, phaseCount> phaseSeconds{};
+    std::size_t neighborInteractions = 0; ///< total SPH pair visits
+    std::size_t activeParticles = 0;
+    GravityStats gravityStats{};
+    unsigned hIterations = 0;
+
+    double totalSeconds() const
+    {
+        double s = 0;
+        for (double p : phaseSeconds)
+            s += p;
+        return s;
+    }
+};
+
+/// Shared-memory SPH simulation of one particle set.
+template<class T>
+class Simulation
+{
+public:
+    Simulation(ParticleSet<T> ps, Box<T> box, Eos<T> eos, SimulationConfig<T> cfg)
+        : ps_(std::move(ps))
+        , box_(box)
+        , eos_(std::move(eos))
+        , cfg_(std::move(cfg))
+        , kernel_(cfg_.kernel, cfg_.sincExponent)
+        , nl_(ps_.size(), cfg_.ngmax)
+        , controller_(cfg_.timestep)
+    {
+        if (ps_.empty()) throw std::invalid_argument("Simulation: empty particle set");
+    }
+
+    const ParticleSet<T>& particles() const { return ps_; }
+    ParticleSet<T>& particles() { return ps_; }
+    const Box<T>& box() const { return box_; }
+    const SimulationConfig<T>& config() const { return cfg_; }
+    const Kernel<T>& kernel() const { return kernel_; }
+    const NeighborList<T>& neighborList() const { return nl_; }
+    const Octree<T>& tree() const { return tree_; }
+    T time() const { return time_; }
+    std::uint64_t step() const { return stepCount_; }
+    T potentialEnergy() const { return potentialEnergy_; }
+
+    /// Signal velocity of the last force evaluation (checkpoint metadata:
+    /// restoring it makes the continuation bitwise instead of merely
+    /// physically equivalent, because the artificial viscosity is
+    /// velocity-dependent and the checkpointed accelerations were computed
+    /// with the half-kicked velocities of the KDK scheme).
+    T maxVsignal() const { return maxVsignal_; }
+
+    /// Resume from a checkpoint: restores simulated time, step counter and
+    /// time-step controller. When \p maxVsignal is supplied, the
+    /// checkpointed accelerations/du are reused (no force recomputation)
+    /// and the continuation is bit-identical to an uninterrupted run.
+    void restoreFromCheckpoint(T time, std::uint64_t step, T lastDt = T(0),
+                               std::optional<T> maxVsignal = {})
+    {
+        time_      = time;
+        stepCount_ = step;
+        controller_.restore(step, lastDt);
+        if (maxVsignal)
+        {
+            maxVsignal_  = *maxVsignal;
+            forcesValid_ = true;
+        }
+    }
+
+    /// Compute forces for the current positions (phases A..I). Must be
+    /// called once before the first step(); step() calls it internally
+    /// afterwards.
+    StepReport<T> computeForces()
+    {
+        StepReport<T> rep;
+        rep.step = stepCount_;
+        Timer t;
+
+        // --- phase A: build tree ---
+        typename Octree<T>::BuildParams bp;
+        bp.leafSize      = cfg_.treeLeafSize;
+        bp.curve         = cfg_.sfcCurve;
+        bp.parallelBuild = cfg_.parallelTreeBuild;
+        tree_.build(ps_.x, ps_.y, ps_.z, box_, bp);
+        rep.phaseSeconds[int(Phase::A_TreeBuild)] = t.lap();
+
+        // --- phases B + C: neighbors and smoothing length ---
+        std::vector<std::size_t> active;
+        bool subset = cfg_.neighborMode == NeighborMode::IndividualTreeWalk &&
+                      controller_.stepCount() > 0;
+        if (subset)
+        {
+            active = controller_.activeParticles(ps_);
+            findNeighborsIndividual(tree_, ps_.x, ps_.y, ps_.z, ps_.h, active, nl_);
+            rep.phaseSeconds[int(Phase::B_NeighborSearch)] = t.lap();
+        }
+        else
+        {
+            SmoothingLengthParams<T> hp;
+            hp.targetNeighbors = cfg_.targetNeighbors;
+            hp.tolerance       = cfg_.neighborTolerance;
+            // B: the initial global walk happens inside; C: iterations
+            findNeighborsGlobal(tree_, ps_.x, ps_.y, ps_.z, ps_.h, nl_);
+            rep.phaseSeconds[int(Phase::B_NeighborSearch)] = t.lap();
+            auto hres = updateSmoothingLengths(ps_, tree_, nl_, hp);
+            rep.hIterations = hres.iterations;
+            rep.phaseSeconds[int(Phase::C_SmoothingLength)] = t.lap();
+        }
+        rep.activeParticles = subset ? active.size() : ps_.size();
+
+        // --- phase D: neighbor-list symmetrization ---
+        if (cfg_.symmetrizeNeighbors && !subset)
+        {
+            symmetrizeNeighborList(nl_);
+        }
+        rep.phaseSeconds[int(Phase::D_NeighborSymmetrize)] = t.lap();
+        rep.neighborInteractions = nl_.totalNeighbors();
+
+        std::span<const std::size_t> act =
+            subset ? std::span<const std::size_t>(active) : std::span<const std::size_t>{};
+
+        // --- phase E: density (+ generalized volume elements) ---
+        computeVolumeElementWeights(ps_, cfg_.volumeElements, cfg_.veExponent);
+        computeDensity(ps_, nl_, kernel_, box_, act);
+        rep.phaseSeconds[int(Phase::E_Density)] = t.lap();
+
+        // --- phase F: EOS + IAD coefficients ---
+        applyEos(act);
+        if (cfg_.gradients == GradientMode::IAD)
+        {
+            computeIadCoefficients(ps_, nl_, kernel_, box_, act);
+        }
+        rep.phaseSeconds[int(Phase::F_EosAndIad)] = t.lap();
+
+        // --- phase G: velocity divergence/curl (Balsara switch) ---
+        computeDivCurl(ps_, nl_, kernel_, box_, cfg_.gradients, act);
+        rep.phaseSeconds[int(Phase::G_DivCurl)] = t.lap();
+
+        // --- phase H: momentum and energy ---
+        auto stats = computeMomentumEnergy(ps_, nl_, kernel_, box_, cfg_.gradients,
+                                           cfg_.av, act);
+        maxVsignal_ = stats.maxVsignal;
+        rep.phaseSeconds[int(Phase::H_MomentumEnergy)] = t.lap();
+
+        // --- phase I: self-gravity ---
+        if (cfg_.selfGravity)
+        {
+            gravity_.prepare(tree_, ps_, cfg_.gravity);
+            potentialEnergy_ = gravity_.accumulate(ps_, &rep.gravityStats);
+        }
+        else
+        {
+            potentialEnergy_ = T(0);
+        }
+        rep.phaseSeconds[int(Phase::I_SelfGravity)] = t.lap();
+
+        forcesValid_ = true;
+        return rep;
+    }
+
+    /// Advance one time-step (kick-drift-kick). Returns the step report of
+    /// the force recomputation plus the J-phase timing.
+    StepReport<T> advance()
+    {
+        if (!forcesValid_) { computeForces(); }
+
+        Timer t;
+        // --- phase J (part 1): new time-step, first kick + drift ---
+        T dtStep = controller_.advance(ps_, maxVsignal_);
+        kickDrift(ps_, dtStep, box_);
+        double jTime = t.lap();
+
+        // forces at the new positions (phases A..I)
+        StepReport<T> rep = computeForces();
+
+        // --- phase J (part 2): second kick + energy update ---
+        t.reset();
+        kickEnergy(ps_, dtStep, eos_.isIdealGas());
+        time_ += dtStep;
+        ++stepCount_;
+        jTime += t.lap();
+
+        rep.phaseSeconds[int(Phase::J_TimestepUpdate)] = jTime;
+        rep.dt   = dtStep;
+        rep.time = time_;
+        rep.step = stepCount_;
+        return rep;
+    }
+
+    /// Run \p nSteps steps; returns the report of the last one. The optional
+    /// callback receives every report (used by examples and benches).
+    StepReport<T> run(std::uint64_t nSteps,
+                      const std::function<void(const StepReport<T>&)>& onStep = {})
+    {
+        StepReport<T> last;
+        for (std::uint64_t s = 0; s < nSteps; ++s)
+        {
+            last = advance();
+            if (onStep) onStep(last);
+        }
+        return last;
+    }
+
+    /// Conservation snapshot, including gravitational potential when active.
+    Conservation<T> conservation() const
+    {
+        return computeConservation(ps_, potentialEnergy_);
+    }
+
+private:
+    void applyEos(std::span<const std::size_t> active)
+    {
+        std::size_t count = active.empty() ? ps_.size() : active.size();
+#pragma omp parallel for schedule(static)
+        for (std::size_t k = 0; k < count; ++k)
+        {
+            std::size_t i = active.empty() ? k : active[k];
+            auto res  = eos_(ps_.rho[i], ps_.u[i]);
+            ps_.p[i]  = res.pressure;
+            ps_.c[i]  = res.soundSpeed;
+        }
+    }
+
+    ParticleSet<T> ps_;
+    Box<T> box_;
+    Eos<T> eos_;
+    SimulationConfig<T> cfg_;
+    Kernel<T> kernel_;
+    Octree<T> tree_;
+    NeighborList<T> nl_;
+    GravitySolver<T> gravity_;
+    TimestepController<T> controller_;
+
+    T time_{0};
+    std::uint64_t stepCount_{0};
+    T maxVsignal_{0};
+    T potentialEnergy_{0};
+    bool forcesValid_{false};
+};
+
+} // namespace sphexa

@@ -1,0 +1,12 @@
+#include "core/version.hpp"
+
+namespace sphexa {
+
+std::string_view version() { return "1.0.0"; }
+
+std::string_view banner()
+{
+    return "SPH-EXA mini-app reproduction (Guerrera et al., CLUSTER 2018)";
+}
+
+} // namespace sphexa

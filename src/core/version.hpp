@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file version.hpp
+/// Library identification.
+
+#include <string_view>
+
+namespace sphexa {
+
+/// Semantic version of the sphexa reproduction library.
+std::string_view version();
+
+/// One-line banner printed by examples and benches.
+std::string_view banner();
+
+} // namespace sphexa

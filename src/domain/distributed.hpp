@@ -1,0 +1,597 @@
+#pragma once
+
+/// \file distributed.hpp
+/// Distributed-memory SPH driver: the "MPI+X" reference implementation of
+/// Table 4, running over the simulated communicator (parallel/comm.hpp).
+///
+/// Every step executes the full distributed workflow of a production SPH
+/// code:
+///   1. domain decomposition (ORB or SFC, Table 4) + particle migration
+///   2. halo exchange with a 2 h_max margin
+///   3. per-rank Algorithm-1 phases A..H over local+ghost particles,
+///      with ghost-field refreshes after density/EOS and before momentum
+///   4. self-gravity via a replicated tree (positions/masses allgathered —
+///      the communication is counted; see DESIGN.md substitution notes)
+///   5. global time-step reduction (allreduce-min), local update
+///
+/// Per-rank phase wall times and per-rank communication traffic are
+/// recorded; they drive the POP metrics, the Fig. 4 trace, and the
+/// strong-scaling predictions of perf/cluster_sim.hpp.
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/simulation.hpp"
+#include "domain/box.hpp"
+#include "domain/halo.hpp"
+#include "domain/orb.hpp"
+#include "domain/sfc_partition.hpp"
+#include "domain/slab.hpp"
+#include "parallel/comm.hpp"
+#include "perf/timer.hpp"
+#include "sph/conservation.hpp"
+#include "sph/eos.hpp"
+
+namespace sphexa {
+
+/// Per-rank, per-step measurements.
+template<class T>
+struct RankStepReport
+{
+    std::array<double, phaseCount> phaseSeconds{};
+    double decompositionSeconds = 0;
+    double haloSeconds = 0;
+    std::size_t localParticles = 0;
+    std::size_t ghostParticles = 0;
+    std::size_t neighborInteractions = 0;
+    simmpi::Traffic traffic{}; ///< traffic sent this step
+
+    double computeSeconds() const
+    {
+        double s = 0;
+        for (double p : phaseSeconds)
+            s += p;
+        return s;
+    }
+};
+
+/// Whole-step view across ranks.
+template<class T>
+struct DistributedStepReport
+{
+    T dt = T(0);
+    T time = T(0);
+    std::uint64_t step = 0;
+    std::vector<RankStepReport<T>> ranks;
+
+    /// POP load balance of the compute time: mean/max across ranks.
+    double loadBalance() const
+    {
+        double mx = 0, sum = 0;
+        for (const auto& r : ranks)
+        {
+            double c = r.computeSeconds();
+            mx = std::max(mx, c);
+            sum += c;
+        }
+        return mx > 0 ? sum / (double(ranks.size()) * mx) : 1.0;
+    }
+};
+
+/// Distributed-memory simulation over P simulated ranks.
+template<class T>
+class DistributedSimulation
+{
+public:
+    DistributedSimulation(ParticleSet<T> global, Box<T> box, Eos<T> eos,
+                          SimulationConfig<T> cfg, int nRanks)
+        : comm_(nRanks)
+        , box_(box)
+        , eos_(std::move(eos))
+        , cfg_(std::move(cfg))
+        , kernel_(cfg_.kernel, cfg_.sincExponent)
+        , locals_(nRanks)
+        , maps_(nRanks)
+        , nLocal_(nRanks, 0)
+    {
+        if (global.empty())
+            throw std::invalid_argument("DistributedSimulation: empty particle set");
+        // initial decomposition: all particles start on rank 0 and are
+        // migrated, as a real code would bootstrap
+        locals_[0] = std::move(global);
+        nLocal_[0] = locals_[0].size();
+        DistributedStepReport<T> bootstrap;
+        bootstrap.ranks.resize(nRanks);
+        computeAllForces(bootstrap);
+    }
+
+    int ranks() const { return comm_.size(); }
+    const Box<T>& box() const { return box_; }
+    T time() const { return time_; }
+    std::uint64_t step() const { return stepCount_; }
+    const simmpi::Communicator& comm() const { return comm_; }
+    const SimulationConfig<T>& config() const { return cfg_; }
+
+    std::size_t localCount(int rank) const { return nLocal_[rank]; }
+
+    /// Advance one step (kick-drift-kick, matching the shared-memory
+    /// driver); returns per-rank measurements.
+    DistributedStepReport<T> advance()
+    {
+        DistributedStepReport<T> rep;
+        rep.ranks.resize(comm_.size());
+        comm_.resetTraffic();
+
+        // phase J part 1: global dt from the current forces, then
+        // first kick + drift on every rank
+        std::vector<T> dtContrib(comm_.size());
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            T dtMin = cfg_.timestep.maxDt;
+            auto& ps = locals_[r];
+            for (std::size_t i = 0; i < ps.size(); ++i)
+            {
+                dtMin = std::min(dtMin,
+                                 particleTimestep(ps, i, lastMaxVsig_, cfg_.timestep));
+            }
+            dtContrib[r] = dtMin;
+        }
+        T dtStep = comm_.allreduceMin<T>(dtContrib);
+        if (firstStep_)
+        {
+            dtStep = std::min(dtStep, cfg_.timestep.initialDt);
+            firstStep_ = false;
+        }
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            kickDrift(locals_[r], dtStep, box_);
+        }
+
+        // forces at the new positions (decompose, halos, phases A..I)
+        computeAllForces(rep);
+
+        // phase J part 2: second kick + energy update
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            Timer t;
+            kickEnergy(locals_[r], dtStep, eos_.isIdealGas());
+            rep.ranks[r].phaseSeconds[int(Phase::J_TimestepUpdate)] = t.elapsed();
+        }
+
+        time_ += dtStep;
+        ++stepCount_;
+        rep.dt = dtStep;
+        rep.time = time_;
+        rep.step = stepCount_;
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            rep.ranks[r].traffic = comm_.traffic(r);
+        }
+        return rep;
+    }
+
+    /// Gather all particles into one set, sorted by id (for comparisons
+    /// against the shared-memory driver).
+    ParticleSet<T> gather() const
+    {
+        ParticleSet<T> out;
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            ParticleSet<T> local = locals_[r];
+            local.resize(nLocal_[r]); // drop any ghosts
+            out.append(local);
+        }
+        // sort by id
+        std::vector<std::size_t> order(out.size());
+        std::iota(order.begin(), order.end(), std::size_t(0));
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return out.id[a] < out.id[b]; });
+        out.reorder(order);
+        return out;
+    }
+
+    Conservation<T> conservation() const
+    {
+        auto g = gather();
+        return computeConservation(g, potentialEnergy_);
+    }
+
+    /// Imbalance of the current decomposition: max/mean local count.
+    double particleImbalance() const
+    {
+        double mx = 0, sum = 0;
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            mx = std::max(mx, double(nLocal_[r]));
+            sum += double(nLocal_[r]);
+        }
+        return sum > 0 ? mx * comm_.size() / sum : 1.0;
+    }
+
+private:
+    /// Decomposition, migration, halo exchange and phases A..I; leaves every
+    /// rank with valid forces on its local particles (ghosts dropped).
+    void computeAllForces(DistributedStepReport<T>& rep)
+    {
+        // 1. decomposition + migration
+        {
+            Timer t;
+            decomposeAndMigrate();
+            double sec = t.elapsed() / comm_.size();
+            for (auto& r : rep.ranks)
+                r.decompositionSeconds = sec;
+        }
+
+        // 2. halo exchange with margin
+        {
+            Timer t;
+            T margin = haloMargin();
+            exchangeHalos(comm_, locals_, maps_, box_, margin);
+            double sec = t.elapsed() / comm_.size();
+            for (auto& r : rep.ranks)
+                r.haloSeconds = sec;
+        }
+
+        // 3. per-rank force computation (phases A..H). Ghost fields are
+        // refreshed at every cross-rank data dependency: IAD needs the
+        // neighbors' density-pass volumes, momentum needs their EOS + IAD
+        // outputs, and the AV limiter needs their Balsara value.
+        rankNl_.assign(comm_.size(), NeighborList<T>{});
+        rankLocalIdx_.assign(comm_.size(), std::vector<std::size_t>{});
+        rankVsig_.assign(comm_.size(), T(0));
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            phaseAtoE(r, rep.ranks[r]);
+        }
+        refreshHaloFields(comm_, locals_, maps_, {"h", "rho", "vol", "gradh", "xmass"},
+                          nLocal_);
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            phaseF(r, rep.ranks[r]);
+        }
+        refreshHaloFields(comm_, locals_, maps_,
+                          {"p", "c", "c11", "c12", "c13", "c22", "c23", "c33"}, nLocal_);
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            phaseG(r, rep.ranks[r]);
+        }
+        refreshHaloFields(comm_, locals_, maps_, {"balsara", "divv", "curlv"}, nLocal_);
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            phaseH(r, rep.ranks[r]);
+        }
+        lastMaxVsig_ = comm_.allreduceMax<T>(std::span<const T>(rankVsig_));
+
+        // ghost forces are NOT applied; drop ghosts before the update
+        dropGhosts();
+
+        // 4. self-gravity on the replicated set (Evrard path)
+        if (cfg_.selfGravity) { accumulateGravityReplicated(rep); }
+    }
+
+    T haloMargin() const
+    {
+        T hmax = T(0);
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            const auto& ps = locals_[r];
+            for (std::size_t i = 0; i < nLocal_[r]; ++i)
+                hmax = std::max(hmax, ps.h[i]);
+        }
+        return T(2) * hmax * T(1.5); // safety factor for the h iteration
+    }
+
+    void dropGhosts()
+    {
+        for (int r = 0; r < comm_.size(); ++r)
+        {
+            locals_[r].resize(nLocal_[r]);
+        }
+    }
+
+    /// Re-decompose on current positions and migrate particles to their
+    /// owners through the communicator.
+    void decomposeAndMigrate()
+    {
+        int P = comm_.size();
+        // gather positions (counted as collective traffic)
+        std::vector<std::vector<T>> xs(P), ys(P), zs(P), ws(P);
+        for (int r = 0; r < P; ++r)
+        {
+            xs[r].assign(locals_[r].x.begin(), locals_[r].x.end());
+            ys[r].assign(locals_[r].y.begin(), locals_[r].y.end());
+            zs[r].assign(locals_[r].z.begin(), locals_[r].z.end());
+            // work weight: last neighbor count (interaction proxy), or 1
+            ws[r].resize(locals_[r].size());
+            for (std::size_t i = 0; i < locals_[r].size(); ++i)
+            {
+                ws[r][i] = locals_[r].nc[i] > 0 ? T(locals_[r].nc[i]) : T(1);
+            }
+        }
+        auto gx = comm_.allgatherv(xs);
+        auto gy = comm_.allgatherv(ys);
+        auto gz = comm_.allgatherv(zs);
+        auto gw = comm_.allgatherv(ws);
+
+        // global assignment
+        std::vector<int> assignment;
+        if (cfg_.decomposition == DecompositionMethod::OrthogonalRecursiveBisection)
+        {
+            auto part = orbDecompose<T>(gx, gy, gz, gw, P, box_);
+            assignment = std::move(part.assignment);
+        }
+        else if (cfg_.decomposition == DecompositionMethod::Slab1D)
+        {
+            auto part = slabDecompose<T>(gx, gy, gz, gw, P, box_);
+            assignment = std::move(part.assignment);
+        }
+        else
+        {
+            auto part = sfcPartition<T>(gx, gy, gz, gw, P, box_, cfg_.sfcCurve);
+            assignment = std::move(part.assignment);
+        }
+
+        // map global index -> (rank, local index)
+        std::vector<std::size_t> rankStart(P + 1, 0);
+        for (int r = 0; r < P; ++r)
+            rankStart[r + 1] = rankStart[r] + locals_[r].size();
+
+        // each rank sends leavers
+        for (int src = 0; src < P; ++src)
+        {
+            auto& ps = locals_[src];
+            std::vector<std::vector<std::size_t>> leaving(P);
+            for (std::size_t i = 0; i < ps.size(); ++i)
+            {
+                int owner = assignment[rankStart[src] + i];
+                if (owner != src) leaving[owner].push_back(i);
+            }
+            for (int dst = 0; dst < P; ++dst)
+            {
+                if (dst == src) continue;
+                auto sub = ps.gather(leaving[dst]);
+                // pack all real fields + ids
+                std::vector<T> packed;
+                auto fields = sub.realFields();
+                for (auto* f : fields)
+                    packed.insert(packed.end(), f->begin(), f->end());
+                comm_.sendVector<T>(src, dst, "migrate", packed);
+                comm_.sendVector<std::uint64_t>(src, dst, "migrate-id", sub.id);
+            }
+            // erase leavers locally (collect all)
+            std::vector<std::size_t> all;
+            for (int dst = 0; dst < P; ++dst)
+            {
+                all.insert(all.end(), leaving[dst].begin(), leaving[dst].end());
+            }
+            std::sort(all.begin(), all.end());
+            ps.eraseSorted(all);
+        }
+
+        comm_.exchange();
+
+        const auto nFields = ParticleSet<T>::realFieldNames().size();
+        for (int dst = 0; dst < P; ++dst)
+        {
+            auto& ps = locals_[dst];
+            for (int src = 0; src < P; ++src)
+            {
+                if (src == dst) continue;
+                auto ids    = comm_.receiveVector<std::uint64_t>(dst, src, "migrate-id");
+                auto packed = comm_.receiveVector<T>(dst, src, "migrate");
+                std::size_t k = ids.size();
+                if (packed.size() != k * nFields)
+                    throw std::runtime_error("migrate: size mismatch");
+                std::size_t base = ps.size();
+                ps.resize(base + k);
+                auto fields = ps.realFields();
+                for (std::size_t f = 0; f < nFields; ++f)
+                {
+                    for (std::size_t g = 0; g < k; ++g)
+                        (*fields[f])[base + g] = packed[f * k + g];
+                }
+                for (std::size_t g = 0; g < k; ++g)
+                    ps.id[base + g] = ids[g];
+            }
+            nLocal_[dst] = ps.size();
+        }
+        for (int r = 0; r < P; ++r)
+            nLocal_[r] = locals_[r].size();
+    }
+
+    /// Phases A..E on one rank over local + ghost particles.
+    void phaseAtoE(int r, RankStepReport<T>& rrep)
+    {
+        auto& ps = locals_[r];
+        std::size_t nLoc = nLocal_[r];
+        rrep.localParticles = nLoc;
+        rrep.ghostParticles = ps.size() - nLoc;
+        if (nLoc == 0) return;
+
+        std::vector<std::size_t> localIdx(nLoc);
+        std::iota(localIdx.begin(), localIdx.end(), std::size_t(0));
+
+        Timer t;
+        // A: tree over local + ghosts
+        typename Octree<T>::BuildParams bp;
+        bp.leafSize      = cfg_.treeLeafSize;
+        bp.curve         = cfg_.sfcCurve;
+        bp.parallelBuild = cfg_.parallelTreeBuild;
+        rankTree_.resize(comm_.size());
+        auto& tree = rankTree_[r];
+        tree.build(ps.x, ps.y, ps.z, box_, bp);
+        rrep.phaseSeconds[int(Phase::A_TreeBuild)] = t.lap();
+
+        // B: neighbor search for local particles
+        NeighborList<T> nl(ps.size(), cfg_.ngmax);
+        findNeighborsIndividual(tree, ps.x, ps.y, ps.z, ps.h, localIdx, nl);
+        rrep.phaseSeconds[int(Phase::B_NeighborSearch)] = t.lap();
+
+        // C: h iteration for local particles (individual re-walks); the
+        // iteration cap matches SmoothingLengthParams::maxIterations so the
+        // shared-memory and distributed drivers follow identical h paths
+        for (unsigned it = 0; it < SmoothingLengthParams<T>{}.maxIterations; ++it)
+        {
+            std::vector<std::size_t> redo;
+            for (std::size_t i = 0; i < nLoc; ++i)
+            {
+                unsigned c = nl.count(i);
+                ps.nc[i]   = int(c);
+                if (!neighborCountConverged(c, cfg_.targetNeighbors,
+                                            cfg_.neighborTolerance))
+                {
+                    ps.h[i] = updateH(ps.h[i], c, cfg_.targetNeighbors);
+                    redo.push_back(i);
+                }
+            }
+            if (redo.empty()) break;
+            findNeighborsIndividual(tree, ps.x, ps.y, ps.z, ps.h, redo, nl);
+        }
+        rrep.phaseSeconds[int(Phase::C_SmoothingLength)] = t.lap();
+        rrep.phaseSeconds[int(Phase::D_NeighborSymmetrize)] = 0; // remote pairs via halo
+        std::size_t inter = 0;
+        for (std::size_t i = 0; i < nLoc; ++i)
+            inter += nl.count(i);
+        rrep.neighborInteractions = inter;
+
+        std::span<const std::size_t> act(localIdx);
+
+        // E: density for local
+        computeVolumeElementWeights(ps, cfg_.volumeElements, cfg_.veExponent);
+        computeDensity(ps, nl, kernel_, box_, act);
+        rrep.phaseSeconds[int(Phase::E_Density)] = t.lap();
+
+        rankNl_[r]       = std::move(nl);
+        rankLocalIdx_[r] = std::move(localIdx);
+    }
+
+    /// Phase F: EOS for local particles + IAD coefficients (ghost volumes
+    /// were refreshed after the density sweep).
+    void phaseF(int r, RankStepReport<T>& rrep)
+    {
+        auto& ps = locals_[r];
+        std::size_t nLoc = nLocal_[r];
+        if (nLoc == 0) return;
+        Timer t;
+        for (std::size_t i = 0; i < nLoc; ++i)
+        {
+            auto res = eos_(ps.rho[i], ps.u[i]);
+            ps.p[i]  = res.pressure;
+            ps.c[i]  = res.soundSpeed;
+        }
+        if (cfg_.gradients == GradientMode::IAD)
+        {
+            std::span<const std::size_t> act(rankLocalIdx_[r]);
+            computeIadCoefficients(ps, rankNl_[r], kernel_, box_, act);
+        }
+        rrep.phaseSeconds[int(Phase::F_EosAndIad)] = t.elapsed();
+    }
+
+    void phaseG(int r, RankStepReport<T>& rrep)
+    {
+        auto& ps = locals_[r];
+        if (nLocal_[r] == 0) return;
+        Timer t;
+        std::span<const std::size_t> act(rankLocalIdx_[r]);
+        computeDivCurl(ps, rankNl_[r], kernel_, box_, cfg_.gradients, act);
+        rrep.phaseSeconds[int(Phase::G_DivCurl)] = t.elapsed();
+    }
+
+    void phaseH(int r, RankStepReport<T>& rrep)
+    {
+        auto& ps = locals_[r];
+        if (nLocal_[r] == 0) return;
+        Timer t;
+        std::span<const std::size_t> act(rankLocalIdx_[r]);
+        auto stats = computeMomentumEnergy(ps, rankNl_[r], kernel_, box_, cfg_.gradients,
+                                           cfg_.av, act);
+        rankVsig_[r] = stats.maxVsignal;
+        rrep.phaseSeconds[int(Phase::H_MomentumEnergy)] = t.elapsed();
+    }
+
+    /// Replicated-tree gravity: allgather (x,y,z,m), run Barnes-Hut per rank
+    /// for its local targets.
+    void accumulateGravityReplicated(DistributedStepReport<T>& rep)
+    {
+        int P = comm_.size();
+        std::vector<std::vector<T>> xs(P), ys(P), zs(P), ms(P);
+        for (int r = 0; r < P; ++r)
+        {
+            xs[r].assign(locals_[r].x.begin(), locals_[r].x.end());
+            ys[r].assign(locals_[r].y.begin(), locals_[r].y.end());
+            zs[r].assign(locals_[r].z.begin(), locals_[r].z.end());
+            ms[r].assign(locals_[r].m.begin(), locals_[r].m.end());
+        }
+        auto gx = comm_.allgatherv(xs);
+        auto gy = comm_.allgatherv(ys);
+        auto gz = comm_.allgatherv(zs);
+        auto gm = comm_.allgatherv(ms);
+
+        ParticleSet<T> rep_ps(gx.size());
+        rep_ps.x = std::move(gx);
+        rep_ps.y = std::move(gy);
+        rep_ps.z = std::move(gz);
+        rep_ps.m = std::move(gm);
+
+        // identical tree parameters to the shared-memory driver so the two
+        // drivers compute identical gravity (the tree structure depends only
+        // on positions + params, not input order)
+        Octree<T> tree;
+        typename Octree<T>::BuildParams bp;
+        bp.leafSize = cfg_.treeLeafSize;
+        bp.curve    = cfg_.sfcCurve;
+        tree.build(rep_ps.x, rep_ps.y, rep_ps.z, box_, bp);
+        GravitySolver<T> solver;
+        solver.prepare(tree, rep_ps, cfg_.gravity);
+
+        Timer t;
+        GravityStats stats;
+        T pot = solver.accumulate(rep_ps, &stats);
+        potentialEnergy_ = pot;
+        double sec = t.elapsed() / P;
+        for (auto& r : rep.ranks)
+        {
+            r.phaseSeconds[int(Phase::I_SelfGravity)] += sec;
+        }
+
+        // scatter accelerations back to owners (same order as the gathers)
+        std::size_t cursor = 0;
+        for (int r = 0; r < P; ++r)
+        {
+            auto& ps = locals_[r];
+            for (std::size_t i = 0; i < ps.size(); ++i, ++cursor)
+            {
+                ps.ax[i] += rep_ps.ax[cursor];
+                ps.ay[i] += rep_ps.ay[cursor];
+                ps.az[i] += rep_ps.az[cursor];
+            }
+        }
+    }
+
+    simmpi::Communicator comm_;
+    Box<T> box_;
+    Eos<T> eos_;
+    SimulationConfig<T> cfg_;
+    Kernel<T> kernel_;
+
+    std::vector<ParticleSet<T>> locals_;
+    std::vector<HaloMap> maps_;
+    std::vector<std::size_t> nLocal_;
+
+    // per-rank scratch between the phase sweeps
+    std::vector<Octree<T>> rankTree_;
+    std::vector<NeighborList<T>> rankNl_;
+    std::vector<std::vector<std::size_t>> rankLocalIdx_;
+    std::vector<T> rankVsig_;
+
+    T time_{0};
+    std::uint64_t stepCount_{0};
+    T potentialEnergy_{0};
+    T lastMaxVsig_{0};
+    bool firstStep_{true};
+};
+
+} // namespace sphexa

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file orb.hpp
+/// Orthogonal Recursive Bisection domain decomposition — SPH-flow's method
+/// (Table 3) and one of the two methods the mini-app must provide (Table 4).
+///
+/// The particle cloud is recursively split along the longest axis of the
+/// current sub-box at the weighted median, so every rank receives an equal
+/// share of work weight. Non-power-of-two rank counts are handled by
+/// splitting the rank range unevenly and placing the cut at the matching
+/// weight fraction.
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "domain/box.hpp"
+
+namespace sphexa {
+
+template<class T>
+struct OrbPartition
+{
+    std::vector<Box<T>> rankBoxes;  ///< disjoint boxes tiling the domain
+    std::vector<int>    assignment; ///< owning rank per particle
+    std::vector<T>      rankWeights;///< total weight per rank
+};
+
+namespace detail {
+
+template<class T>
+void orbRecurse(std::span<const T> x, std::span<const T> y, std::span<const T> z,
+                std::span<const T> w, std::vector<std::size_t>& indices, std::size_t lo,
+                std::size_t hi, const Box<T>& box, int rankLo, int rankHi,
+                OrbPartition<T>& out)
+{
+    int nRanks = rankHi - rankLo + 1;
+    if (nRanks == 1)
+    {
+        out.rankBoxes[rankLo] = box;
+        T wsum = T(0);
+        for (std::size_t k = lo; k < hi; ++k)
+        {
+            out.assignment[indices[k]] = rankLo;
+            wsum += w[indices[k]];
+        }
+        out.rankWeights[rankLo] = wsum;
+        return;
+    }
+
+    int nLeft = nRanks / 2;
+    T fraction = T(nLeft) / T(nRanks);
+
+    int axis = box.longestAxis();
+    const T* coord = axis == 0 ? x.data() : axis == 1 ? y.data() : z.data();
+
+    std::sort(indices.begin() + lo, indices.begin() + hi,
+              [&](std::size_t a, std::size_t b) { return coord[a] < coord[b]; });
+
+    T total = T(0);
+    for (std::size_t k = lo; k < hi; ++k)
+        total += w[indices[k]];
+
+    T target = fraction * total;
+    T acc = T(0);
+    std::size_t cut = lo;
+    while (cut < hi && acc + w[indices[cut]] <= target)
+    {
+        acc += w[indices[cut]];
+        ++cut;
+    }
+    // keep both halves non-empty when possible
+    if (cut == lo && hi - lo > 1) ++cut;
+    if (cut == hi && hi - lo > 1) --cut;
+
+    T cutPos = (cut > lo && cut < hi)
+                   ? (coord[indices[cut - 1]] + coord[indices[cut]]) / T(2)
+                   : box.center()[axis];
+
+    Box<T> left = box, right = box;
+    left.hi[axis]  = cutPos;
+    right.lo[axis] = cutPos;
+
+    orbRecurse(x, y, z, w, indices, lo, cut, left, rankLo, rankLo + nLeft - 1, out);
+    orbRecurse(x, y, z, w, indices, cut, hi, right, rankLo + nLeft, rankHi, out);
+}
+
+} // namespace detail
+
+/// Decompose particles into \p nRanks boxes by weighted ORB. Weights are
+/// per-particle work estimates (interaction counts); pass uniform weights
+/// for a pure particle-count split.
+template<class T>
+OrbPartition<T> orbDecompose(std::span<const T> x, std::span<const T> y,
+                             std::span<const T> z, std::span<const T> weights, int nRanks,
+                             const Box<T>& domain)
+{
+    OrbPartition<T> out;
+    out.rankBoxes.resize(nRanks);
+    out.assignment.assign(x.size(), 0);
+    out.rankWeights.assign(nRanks, T(0));
+
+    std::vector<std::size_t> indices(x.size());
+    std::iota(indices.begin(), indices.end(), std::size_t(0));
+    detail::orbRecurse(x, y, z, weights, indices, 0, x.size(), domain, 0, nRanks - 1, out);
+    return out;
+}
+
+} // namespace sphexa

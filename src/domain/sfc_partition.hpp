@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file sfc_partition.hpp
+/// Space-filling-curve domain decomposition — ChaNGa's method (Table 3) and
+/// the second method of Table 4.
+///
+/// Particles are ordered along a Morton or Hilbert curve and the curve is
+/// cut into nRanks contiguous segments of equal work weight. Rank domains
+/// are curve segments (not boxes); their spatial extent is the AABB of
+/// their particles, which the halo layer uses.
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "domain/box.hpp"
+#include "tree/hilbert.hpp"
+#include "tree/morton.hpp"
+
+namespace sphexa {
+
+template<class T>
+struct SfcPartition
+{
+    std::vector<int> assignment;       ///< owning rank per particle
+    std::vector<T>   rankWeights;      ///< total weight per rank
+    std::vector<std::uint64_t> splits; ///< key-space split points (nRanks-1)
+};
+
+/// Partition by SFC key into \p nRanks equal-weight contiguous segments.
+template<class T>
+SfcPartition<T> sfcPartition(std::span<const T> x, std::span<const T> y,
+                             std::span<const T> z, std::span<const T> weights, int nRanks,
+                             const Box<T>& domain, SfcCurve curve = SfcCurve::Morton)
+{
+    std::size_t n = x.size();
+    std::vector<std::uint64_t> keys(n);
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        keys[i] = sfcKey(curve, Vec3<T>{x[i], y[i], z[i]}, domain);
+    }
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t(0));
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+
+    T total = T(0);
+    for (std::size_t i = 0; i < n; ++i)
+        total += weights[i];
+
+    SfcPartition<T> out;
+    out.assignment.assign(n, 0);
+    out.rankWeights.assign(nRanks, T(0));
+
+    T perRank = total / T(nRanks);
+    int rank = 0;
+    T acc = T(0);
+    for (std::size_t k = 0; k < n; ++k)
+    {
+        std::size_t i = order[k];
+        // advance to the next rank when this one has its share (keep the
+        // last rank open so everything lands somewhere)
+        while (rank < nRanks - 1 && acc >= T(rank + 1) * perRank)
+        {
+            out.splits.push_back(keys[i]);
+            ++rank;
+        }
+        out.assignment[i] = rank;
+        out.rankWeights[rank] += weights[i];
+        acc += weights[i];
+    }
+    while (int(out.splits.size()) < nRanks - 1)
+        out.splits.push_back(~std::uint64_t(0));
+    return out;
+}
+
+} // namespace sphexa

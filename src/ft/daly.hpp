@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file daly.hpp
+/// Optimal checkpoint interval selection — Table 4's "Optimal interval"
+/// (refs [7, 20, 21] of the paper).
+///
+///  - Young (1974):  tau = sqrt(2 C M)
+///  - Daly (2006) higher-order:
+///       tau = sqrt(2 C M) [1 + 1/3 sqrt(C/(2M)) + (1/9)(C/(2M))] - C
+///    (valid for C < 2M; reduces to Young as C/M -> 0)
+///  - first-order expected waste fraction at interval tau:
+///       waste(tau) = C/tau + (tau + C)/(2 M) + R/M
+///  - two-level pattern optimization (Di, Robert, Vivien, Cappello 2016
+///    style): N1 cheap level-1 checkpoints per expensive level-2
+///    checkpoint, with failure classes recoverable per level.
+///
+/// A discrete-event simulator with exponential failures validates the
+/// closed forms in tests and in bench_checkpoint.
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.hpp"
+
+namespace sphexa {
+
+/// Young's first-order optimal interval. C = checkpoint cost, mtbf = M.
+inline double youngInterval(double checkpointCost, double mtbf)
+{
+    if (checkpointCost <= 0 || mtbf <= 0)
+    {
+        throw std::invalid_argument("youngInterval: positive inputs required");
+    }
+    return std::sqrt(2.0 * checkpointCost * mtbf);
+}
+
+/// Daly's refined optimum (2006), clamped to the Young value's regime.
+inline double dalyInterval(double checkpointCost, double mtbf)
+{
+    double C = checkpointCost, M = mtbf;
+    if (C <= 0 || M <= 0) throw std::invalid_argument("dalyInterval: positive inputs");
+    if (C >= 2.0 * M) return M; // pathological regime: checkpoint ~ MTBF
+    double x = std::sqrt(C / (2.0 * M));
+    return std::sqrt(2.0 * C * M) * (1.0 + x / 3.0 + x * x / 9.0) - C;
+}
+
+/// First-order expected waste fraction of compute capacity when
+/// checkpointing every \p tau seconds (cost C, restart R, MTBF M).
+inline double expectedWasteFraction(double tau, double checkpointCost, double restartCost,
+                                    double mtbf)
+{
+    if (tau <= 0) throw std::invalid_argument("expectedWasteFraction: tau > 0 required");
+    return checkpointCost / tau + (tau + checkpointCost) / (2.0 * mtbf) +
+           restartCost / mtbf;
+}
+
+/// Two-level pattern: N1 level-1 checkpoints (cost C1, protects against
+/// failures of rate lambda1) between consecutive level-2 checkpoints
+/// (cost C2, protects against the rarer rate-lambda2 failures). The
+/// optimal count of L1 checkpoints per L2 segment balances the added L1
+/// cost against the re-execution saved on frequent failures:
+///     N1* ~ sqrt( (C2 * lambda1) / (C1 * lambda2) )
+struct TwoLevelPlan
+{
+    double tau1; ///< interval between level-1 checkpoints
+    int    n1;   ///< level-1 checkpoints per level-2 segment
+};
+
+inline TwoLevelPlan twoLevelOptimal(double c1, double c2, double lambda1, double lambda2)
+{
+    if (c1 <= 0 || c2 <= 0 || lambda1 <= 0 || lambda2 <= 0)
+    {
+        throw std::invalid_argument("twoLevelOptimal: positive inputs required");
+    }
+    double n1 = std::sqrt(c2 * lambda1 / (c1 * lambda2));
+    int n1i   = std::max(1, int(std::lround(n1)));
+    // L1 interval from Young with the L1 failure rate
+    double tau1 = youngInterval(c1, 1.0 / lambda1);
+    return {tau1, n1i};
+}
+
+/// Discrete-event simulation of checkpoint/restart under exponential
+/// failures: runs \p workSeconds of useful work, checkpointing every
+/// \p tau; a failure loses the work since the last checkpoint and pays
+/// \p restartCost. Returns the total wall time (validates the analytic
+/// waste model).
+inline double simulateCheckpointing(double workSeconds, double tau, double checkpointCost,
+                                    double restartCost, double mtbf, std::uint64_t seed,
+                                    std::size_t* failures = nullptr)
+{
+    Xoshiro256pp rng(seed);
+    auto nextFailure = [&]() { return -mtbf * std::log(1.0 - rng.uniform()); };
+
+    double wall = 0;
+    double done = 0;             // completed (checkpointed) work
+    double sinceCkpt = 0;        // work since last checkpoint
+    double untilFailure = nextFailure();
+    std::size_t nFail = 0;
+
+    while (done < workSeconds)
+    {
+        double segment = std::min(tau, workSeconds - done - sinceCkpt + sinceCkpt);
+        double todo    = std::min(tau - sinceCkpt, workSeconds - done - sinceCkpt);
+        (void)segment;
+        double step = todo;
+        if (untilFailure <= step)
+        {
+            // failure mid-segment: lose sinceCkpt + the partial work
+            wall += untilFailure + restartCost;
+            sinceCkpt = 0;
+            untilFailure = nextFailure();
+            ++nFail;
+            continue;
+        }
+        // complete the segment
+        wall += step;
+        untilFailure -= step;
+        sinceCkpt += step;
+        if (sinceCkpt >= tau - 1e-12 && done + sinceCkpt < workSeconds)
+        {
+            // take a checkpoint (failure during checkpoint loses it)
+            if (untilFailure <= checkpointCost)
+            {
+                wall += untilFailure + restartCost;
+                untilFailure = nextFailure();
+                sinceCkpt = 0;
+                ++nFail;
+                continue;
+            }
+            wall += checkpointCost;
+            untilFailure -= checkpointCost;
+            done += sinceCkpt;
+            sinceCkpt = 0;
+        }
+        else if (done + sinceCkpt >= workSeconds)
+        {
+            done += sinceCkpt;
+            sinceCkpt = 0;
+        }
+    }
+    if (failures) *failures = nFail;
+    return wall;
+}
+
+} // namespace sphexa

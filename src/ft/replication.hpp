@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file replication.hpp
+/// Selective replication — one of the fault-tolerance mechanisms Sec. 5.2
+/// names for the mini-app ("selective replication, algorithm-based
+/// fault-tolerance (ABFT) techniques, and optimal checkpointing").
+///
+/// A selected computation runs twice (optionally with a fault hook between
+/// executions, for testing); mismatching results flag a transient compute
+/// error. The comparison is user-supplied so callers can use bitwise
+/// equality for deterministic kernels or a tolerance for reductions.
+
+#include <functional>
+
+namespace sphexa {
+
+struct ReplicationStats
+{
+    std::size_t executions  = 0;
+    std::size_t mismatches  = 0;
+};
+
+/// Run \p compute twice and compare with \p equal. Returns true when the
+/// two executions agree (no transient error detected). The result of the
+/// first execution is the one kept by the caller's compute closure.
+template<class Result>
+bool replicatedCompute(const std::function<Result()>& compute,
+                       const std::function<bool(const Result&, const Result&)>& equal,
+                       ReplicationStats* stats = nullptr,
+                       const std::function<void()>& betweenRuns = {})
+{
+    Result a = compute();
+    if (betweenRuns) betweenRuns();
+    Result b = compute();
+    bool ok = equal(a, b);
+    if (stats)
+    {
+        stats->executions += 2;
+        if (!ok) ++stats->mismatches;
+    }
+    return ok;
+}
+
+} // namespace sphexa

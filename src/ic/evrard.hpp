@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file evrard.hpp
+/// Evrard collapse (Evrard 1988), as configured in Sec. 5.1 of the paper
+/// following SPHYNX (Cabezon et al. 2017):
+///
+///  - initially static, cold gas sphere with density profile
+///        rho(r) = M / (2 pi R^2 r)   for r <= R       (paper eq. 2)
+///  - R = 1, M = 1, G = 1; specific internal energy u0 = 0.05;
+///  - ideal-gas EOS with gamma = 5/3;
+///  - gravitational energy >> internal energy, so the sphere collapses,
+///    bounces and launches an outward shock.
+///
+/// The 1/r profile is realized by the standard radial stretch of a uniform
+/// lattice: M(<r) = M r^2/R^2 for the target vs M s^3/R^3 for the uniform
+/// sphere gives the exact map r = R (s/R)^{3/2} with equal-mass particles.
+
+#include <cmath>
+#include <numbers>
+
+#include "domain/box.hpp"
+#include "ic/lattice.hpp"
+#include "sph/eos.hpp"
+#include "sph/particles.hpp"
+
+namespace sphexa {
+
+template<class T>
+struct EvrardConfig
+{
+    std::size_t nSide = 50; ///< lattice side; sphere keeps ~pi/6 of nSide^3
+    T R  = T(1);            ///< initial radius
+    T M  = T(1);            ///< total mass
+    T u0 = T(0.05);         ///< initial specific internal energy (paper)
+    T gamma = T(5) / T(3);
+    T G = T(1);
+};
+
+template<class T>
+struct EvrardSetup
+{
+    Box<T> box;            ///< open (non-periodic) domain with margins
+    IdealGasEos<T> eos;
+    T particleMass;
+    std::size_t nParticles;
+};
+
+/// Generate the Evrard collapse initial conditions into \p ps.
+template<class T>
+EvrardSetup<T> makeEvrard(ParticleSet<T>& ps, const EvrardConfig<T>& cfg = {})
+{
+    // uniform lattice in the bounding cube of the unit sphere
+    ParticleSet<T> cube;
+    Box<T> latticeBox{{-cfg.R, -cfg.R, -cfg.R}, {cfg.R, cfg.R, cfg.R}};
+    cubicLattice(cube, cfg.nSide, cfg.nSide, cfg.nSide, latticeBox);
+
+    // keep points inside the sphere, stretch radially: r -> R (s/R)^{3/2}
+    ps.clear();
+    ps.reserve(cube.size());
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < cube.size(); ++i)
+    {
+        Vec3<T> s{cube.x[i], cube.y[i], cube.z[i]};
+        T sr = norm(s);
+        if (sr >= cfg.R || sr == T(0)) continue;
+        T rNew  = cfg.R * std::pow(sr / cfg.R, T(1.5));
+        Vec3<T> p = s * (rNew / sr);
+        ps.appendFrom(cube, i);
+        std::size_t idx = ps.size() - 1;
+        ps.x[idx] = p.x;
+        ps.y[idx] = p.y;
+        ps.z[idx] = p.z;
+        ps.id[idx] = kept++;
+    }
+
+    std::size_t n = ps.size();
+    T mass = cfg.M / T(n);
+    constexpr unsigned targetNeighbors = 100; // paper: ~10^2 neighbors
+
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        ps.m[i]  = mass;
+        ps.vx[i] = ps.vy[i] = ps.vz[i] = T(0); // initially static
+        ps.u[i]  = cfg.u0;
+        T r = std::sqrt(ps.x[i] * ps.x[i] + ps.y[i] * ps.y[i] + ps.z[i] * ps.z[i]);
+        ps.rho[i] = cfg.M / (T(2) * std::numbers::pi_v<T> * cfg.R * cfg.R *
+                             std::max(r, T(1e-6)));
+        // h so that (4/3) pi (2h)^3 rho / m ~ targetNeighbors; the h
+        // iteration refines this
+        ps.h[i] = T(0.5) * std::cbrt(T(3) * T(targetNeighbors) * mass /
+                                     (T(4) * std::numbers::pi_v<T> * ps.rho[i]));
+    }
+
+    // The collapse stays within ~2R; give the open box generous margins.
+    Box<T> box{{-3 * cfg.R, -3 * cfg.R, -3 * cfg.R}, {3 * cfg.R, 3 * cfg.R, 3 * cfg.R}};
+    return {box, IdealGasEos<T>(cfg.gamma), mass, n};
+}
+
+/// Analytic total gravitational potential energy of the 1/r profile sphere:
+///     U = -2/3 G M^2 / R   (for rho ~ 1/r within R).
+template<class T>
+T evrardAnalyticPotentialEnergy(T G, T M, T R)
+{
+    return -T(2) / T(3) * G * M * M / R;
+}
+
+} // namespace sphexa

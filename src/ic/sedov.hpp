@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file sedov.hpp
+/// Sedov-Taylor point explosion — an extension test beyond the paper's two
+/// cases (it became the standard SPH-EXA validation case in the follow-on
+/// project). A uniform-density box receives a point-like energy injection
+/// smoothed over the central kernel support; the blast wave then follows the
+/// self-similar solution R_shock(t) = xi0 (E t^2 / rho0)^{1/5}.
+
+#include <cmath>
+#include <numbers>
+
+#include "domain/box.hpp"
+#include "ic/lattice.hpp"
+#include "sph/eos.hpp"
+#include "sph/kernels.hpp"
+#include "sph/particles.hpp"
+
+namespace sphexa {
+
+template<class T>
+struct SedovConfig
+{
+    std::size_t nSide = 50;   ///< lattice side (n^3 particles)
+    T L      = T(1);          ///< box side, centered at origin
+    T rho0   = T(1);
+    T energy = T(1);          ///< injected blast energy
+    T uBackground = T(1e-8);  ///< cold background specific energy
+    T gamma  = T(5) / T(3);
+};
+
+template<class T>
+struct SedovSetup
+{
+    Box<T> box;               ///< fully periodic
+    IdealGasEos<T> eos;
+    T particleMass;
+    T spacing;
+};
+
+template<class T>
+SedovSetup<T> makeSedov(ParticleSet<T>& ps, const SedovConfig<T>& cfg = {})
+{
+    T half = cfg.L / 2;
+    Box<T> box{{-half, -half, -half}, {half, half, half}, true, true, true};
+    cubicLattice(ps, cfg.nSide, cfg.nSide, cfg.nSide, box);
+
+    std::size_t n = ps.size();
+    T dx   = cfg.L / T(cfg.nSide);
+    T mass = cfg.rho0 * cfg.L * cfg.L * cfg.L / T(n);
+
+    // smooth the energy injection with a kernel of width 2 dx about origin
+    Kernel<T> k(KernelType::CubicSpline);
+    T hInj = T(2) * dx;
+    T wsum = T(0);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        T r = std::sqrt(ps.x[i] * ps.x[i] + ps.y[i] * ps.y[i] + ps.z[i] * ps.z[i]);
+        wsum += k.value(r, hInj);
+    }
+
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        ps.m[i]  = mass;
+        ps.vx[i] = ps.vy[i] = ps.vz[i] = T(0);
+        ps.rho[i] = cfg.rho0;
+        T r = std::sqrt(ps.x[i] * ps.x[i] + ps.y[i] * ps.y[i] + ps.z[i] * ps.z[i]);
+        T w = k.value(r, hInj);
+        ps.u[i] = cfg.uBackground + (wsum > T(0) ? cfg.energy * w / (wsum * mass) : T(0));
+        ps.h[i] = T(2) * dx;
+    }
+
+    return {box, IdealGasEos<T>(cfg.gamma), mass, dx};
+}
+
+/// Self-similar shock radius R(t) = xi0 (E t^2 / rho0)^{1/5};
+/// xi0 ~ 1.152 for gamma = 5/3.
+template<class T>
+T sedovShockRadius(T t, T energy, T rho0, T gamma = T(5) / T(3))
+{
+    T xi0 = gamma > T(1.6) ? T(1.152) : T(1.033); // 5/3 vs 7/5
+    return xi0 * std::pow(energy * t * t / rho0, T(0.2));
+}
+
+} // namespace sphexa

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file ascii_io.hpp
+/// Human-readable output: CSV particle dumps (selected fields) and the
+/// time-series writer the examples use for conservation logs and radial
+/// profiles.
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sph/particles.hpp"
+
+namespace sphexa {
+
+/// Write selected fields of a particle set as CSV (id column always first).
+template<class T>
+void writeCsv(std::ostream& os, const ParticleSet<T>& ps,
+              const std::vector<std::string>& fields, int precision = 10)
+{
+    os << "id";
+    for (const auto& f : fields)
+        os << ',' << f;
+    os << '\n';
+    os << std::setprecision(precision);
+    auto& mut = const_cast<ParticleSet<T>&>(ps);
+    std::vector<const std::vector<T>*> cols;
+    for (const auto& f : fields)
+        cols.push_back(&mut.field(f));
+    for (std::size_t i = 0; i < ps.size(); ++i)
+    {
+        os << ps.id[i];
+        for (auto* c : cols)
+            os << ',' << (*c)[i];
+        os << '\n';
+    }
+}
+
+template<class T>
+void writeCsvFile(const std::string& path, const ParticleSet<T>& ps,
+                  const std::vector<std::string>& fields)
+{
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("writeCsvFile: cannot open " + path);
+    writeCsv(f, ps, fields);
+}
+
+/// Incremental column-oriented series writer (conservation logs, scaling
+/// tables): one header, then one row per record.
+class SeriesWriter
+{
+public:
+    explicit SeriesWriter(std::vector<std::string> columns, int precision = 8)
+        : columns_(std::move(columns)), precision_(precision)
+    {
+    }
+
+    const std::vector<std::string>& columns() const { return columns_; }
+
+    void addRow(const std::vector<double>& values)
+    {
+        if (values.size() != columns_.size())
+        {
+            throw std::invalid_argument("SeriesWriter: column count mismatch");
+        }
+        rows_.push_back(values);
+    }
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    void write(std::ostream& os, char sep = ',') const
+    {
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+        {
+            os << (c ? std::string(1, sep) : "") << columns_[c];
+        }
+        os << '\n';
+        os << std::setprecision(precision_);
+        for (const auto& row : rows_)
+        {
+            for (std::size_t c = 0; c < row.size(); ++c)
+            {
+                os << (c ? std::string(1, sep) : "") << row[c];
+            }
+            os << '\n';
+        }
+    }
+
+    std::string str() const
+    {
+        std::ostringstream os;
+        write(os);
+        return os.str();
+    }
+
+    void writeFile(const std::string& path) const
+    {
+        std::ofstream f(path);
+        if (!f) throw std::runtime_error("SeriesWriter: cannot open " + path);
+        write(f);
+    }
+
+private:
+    std::vector<std::string> columns_;
+    int precision_;
+    std::vector<std::vector<double>> rows_;
+};
+
+} // namespace sphexa

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file lookup_table.hpp
+/// Tabulated 1D function with linear interpolation.
+///
+/// SPH production codes (SPHYNX in particular) evaluate the interpolation
+/// kernel and its derivative through lookup tables because the sinc kernel's
+/// transcendental evaluation dominates the density loop otherwise. The table
+/// is sampled uniformly in q over the kernel support.
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace sphexa {
+
+template<class T>
+class LookupTable
+{
+public:
+    LookupTable() = default;
+
+    /// Tabulate f over [a, b] with n samples (n >= 2).
+    template<class F>
+    LookupTable(const F& f, T a, T b, std::size_t n)
+        : a_(a), b_(b), inv_dx_(T(n - 1) / (b - a)), values_(n)
+    {
+        assert(n >= 2 && b > a);
+        T dx = (b - a) / T(n - 1);
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            values_[i] = f(a + T(i) * dx);
+        }
+    }
+
+    /// Linear interpolation; clamps outside [a, b].
+    T operator()(T x) const
+    {
+        if (x <= a_) return values_.front();
+        if (x >= b_) return values_.back();
+        T pos = (x - a_) * inv_dx_;
+        auto i = static_cast<std::size_t>(pos);
+        T frac = pos - T(i);
+        return values_[i] + frac * (values_[i + 1] - values_[i]);
+    }
+
+    std::size_t size() const { return values_.size(); }
+    T lower() const { return a_; }
+    T upper() const { return b_; }
+
+private:
+    T a_{0}, b_{1};
+    T inv_dx_{1};
+    std::vector<T> values_;
+};
+
+} // namespace sphexa

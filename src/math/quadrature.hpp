@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file quadrature.hpp
+/// Adaptive 1D quadrature used to normalize SPH interpolation kernels.
+///
+/// The sinc kernel family S_n(q) (Cabezon et al. 2008) has no closed-form
+/// 3D normalization constant for arbitrary exponent n; we compute
+///     B_n = 1 / (4 pi \int_0^2 S(q)^n q^2 dq)
+/// at kernel construction with adaptive Simpson quadrature, which also
+/// serves as the independent reference in kernel unit tests.
+
+#include <cmath>
+#include <functional>
+
+namespace sphexa {
+
+namespace detail {
+
+template<class F, class T>
+T adaptiveSimpsonRec(const F& f, T a, T b, T fa, T fm, T fb, T whole, T eps, int depth)
+{
+    T m  = (a + b) / 2;
+    T lm = (a + m) / 2;
+    T rm = (m + b) / 2;
+    T flm = f(lm);
+    T frm = f(rm);
+    T left  = (m - a) / 6 * (fa + 4 * flm + fm);
+    T right = (b - m) / 6 * (fm + 4 * frm + fb);
+    T delta = left + right - whole;
+    if (depth <= 0 || std::abs(delta) <= 15 * eps)
+    {
+        return left + right + delta / 15;
+    }
+    return adaptiveSimpsonRec(f, a, m, fa, flm, fm, left, eps / 2, depth - 1) +
+           adaptiveSimpsonRec(f, m, b, fm, frm, fb, right, eps / 2, depth - 1);
+}
+
+} // namespace detail
+
+/// Adaptive Simpson integration of f over [a, b] to absolute tolerance eps.
+template<class T, class F>
+T integrate(const F& f, T a, T b, T eps = T(1e-12), int maxDepth = 40)
+{
+    T fa = f(a);
+    T fb = f(b);
+    T m  = (a + b) / 2;
+    T fm = f(m);
+    T whole = (b - a) / 6 * (fa + 4 * fm + fb);
+    return detail::adaptiveSimpsonRec(f, a, b, fa, fm, fb, whole, eps, maxDepth);
+}
+
+/// Fixed-order composite Simpson rule (even n intervals), for cheap
+/// cross-checks in tests.
+template<class T, class F>
+T integrateSimpson(const F& f, T a, T b, int n)
+{
+    if (n % 2) ++n;
+    T h   = (b - a) / n;
+    T sum = f(a) + f(b);
+    for (int i = 1; i < n; ++i)
+    {
+        sum += f(a + i * h) * ((i % 2) ? T(4) : T(2));
+    }
+    return sum * h / 3;
+}
+
+} // namespace sphexa

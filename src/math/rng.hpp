@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, fast random number generation.
+///
+/// Reproducibility is a stated design goal of the SPH-EXA mini-app
+/// (Sec. 4 of the paper): all stochastic elements (lattice jitter, failure
+/// injection, SDC bit flips, scheduler noise) draw from explicitly seeded
+/// generators so every experiment is bit-reproducible.
+
+#include <cstdint>
+
+namespace sphexa {
+
+/// SplitMix64: used to expand a single seed into stream seeds.
+class SplitMix64
+{
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    constexpr std::uint64_t next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Xoshiro256++: the workhorse generator. Satisfies UniformRandomBitGenerator.
+class Xoshiro256pp
+{
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Xoshiro256pp(std::uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto& s : s_)
+            s = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t(0); }
+
+    constexpr result_type operator()()
+    {
+        const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const std::uint64_t t      = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return double((*this)() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [a, b).
+    double uniform(double a, double b) { return a + (b - a) * uniform(); }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t uniformInt(std::uint64_t n)
+    {
+        // Lemire's nearly-divisionless method.
+        __uint128_t m = __uint128_t((*this)()) * __uint128_t(n);
+        return std::uint64_t(m >> 64);
+    }
+
+    /// Standard normal variate (Marsaglia polar method).
+    double normal()
+    {
+        if (haveSpare_)
+        {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do
+        {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        double f   = __builtin_sqrt(-2.0 * __builtin_log(s) / s);
+        spare_     = v * f;
+        haveSpare_ = true;
+        return u * f;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4]{};
+    double        spare_{0.0};
+    bool          haveSpare_{false};
+};
+
+} // namespace sphexa

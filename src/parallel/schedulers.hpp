@@ -1,0 +1,328 @@
+#pragma once
+
+/// \file schedulers.hpp
+/// Dynamic loop self-scheduling: the load-balancing layer of Table 4
+/// ("DLB with self-scheduling per X, Y, Z level"), implementing the
+/// techniques of the paper's load-balancing references:
+///
+///  - STATIC     : one contiguous block per worker
+///  - SS         : pure self-scheduling, chunk = 1 (max balance, max overhead)
+///  - GSS        : guided self-scheduling, chunk = remaining/P
+///                 (Polychronopoulos & Kuck 1987)
+///  - TSS        : trapezoid self-scheduling, linearly decreasing chunks
+///                 (Tzen & Ni 1993)
+///  - FAC        : factoring, batches of P chunks of remaining/(2P)
+///                 (Hummel, Schonberg & Flynn / ref [27])
+///  - AWF        : adaptive weighted factoring, FAC with per-worker weights
+///                 adapted to measured execution rates (Banicescu et al.,
+///                 ref [3])
+///
+/// chunkSequence() is the pure chunking rule (unit-testable against the
+/// published sequences); LoopScheduler is the thread-safe work queue used in
+/// parallel loops; executeLoop() is a measurement harness that runs a loop
+/// under a strategy and reports per-worker busy times for the scheduling
+/// ablation (bench_schedulers).
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "perf/timer.hpp"
+
+namespace sphexa {
+
+enum class SchedulingStrategy
+{
+    Static,
+    SelfScheduling,
+    Guided,
+    Trapezoid,
+    Factoring,
+    AdaptiveWeightedFactoring,
+};
+
+constexpr std::string_view schedulingName(SchedulingStrategy s)
+{
+    switch (s)
+    {
+        case SchedulingStrategy::Static: return "STATIC";
+        case SchedulingStrategy::SelfScheduling: return "SS";
+        case SchedulingStrategy::Guided: return "GSS";
+        case SchedulingStrategy::Trapezoid: return "TSS";
+        case SchedulingStrategy::Factoring: return "FAC";
+        case SchedulingStrategy::AdaptiveWeightedFactoring: return "AWF";
+    }
+    return "?";
+}
+
+/// The deterministic chunk-size sequence a strategy produces for n
+/// iterations on p workers (worker identity ignored; AWF reduces to FAC
+/// with equal weights here). Used by tests and for analysis.
+inline std::vector<std::size_t> chunkSequence(std::size_t n, std::size_t p,
+                                              SchedulingStrategy s)
+{
+    if (p == 0) throw std::invalid_argument("chunkSequence: p must be positive");
+    std::vector<std::size_t> chunks;
+    std::size_t remaining = n;
+    switch (s)
+    {
+        case SchedulingStrategy::Static:
+        {
+            std::size_t base = n / p, extra = n % p;
+            for (std::size_t w = 0; w < p && remaining > 0; ++w)
+            {
+                std::size_t c = base + (w < extra ? 1 : 0);
+                if (c == 0) continue;
+                chunks.push_back(c);
+                remaining -= c;
+            }
+            break;
+        }
+        case SchedulingStrategy::SelfScheduling:
+        {
+            chunks.assign(n, 1);
+            break;
+        }
+        case SchedulingStrategy::Guided:
+        {
+            while (remaining > 0)
+            {
+                std::size_t c = std::max<std::size_t>(1, remaining / p);
+                chunks.push_back(c);
+                remaining -= c;
+            }
+            break;
+        }
+        case SchedulingStrategy::Trapezoid:
+        {
+            // first chunk f = n/(2p), last chunk l = 1, linear decrement
+            std::size_t f = std::max<std::size_t>(1, n / (2 * p));
+            std::size_t l = 1;
+            std::size_t steps = (2 * n) / (f + l); // number of chunks N
+            double delta = steps > 1 ? double(f - l) / double(steps - 1) : 0.0;
+            double cur = double(f);
+            while (remaining > 0)
+            {
+                auto c = std::min<std::size_t>(remaining,
+                                               std::max<std::size_t>(1, std::size_t(cur)));
+                chunks.push_back(c);
+                remaining -= c;
+                cur = std::max(1.0, cur - delta);
+            }
+            break;
+        }
+        case SchedulingStrategy::Factoring:
+        case SchedulingStrategy::AdaptiveWeightedFactoring:
+        {
+            while (remaining > 0)
+            {
+                std::size_t batchChunk = std::max<std::size_t>(
+                    1, std::size_t(std::ceil(double(remaining) / double(2 * p))));
+                for (std::size_t w = 0; w < p && remaining > 0; ++w)
+                {
+                    std::size_t c = std::min(batchChunk, remaining);
+                    chunks.push_back(c);
+                    remaining -= c;
+                }
+            }
+            break;
+        }
+    }
+    return chunks;
+}
+
+/// Thread-safe self-scheduling work queue over the iteration space [0, n).
+class LoopScheduler
+{
+public:
+    LoopScheduler(std::size_t n, std::size_t workers, SchedulingStrategy strategy,
+                  std::vector<double> workerWeights = {})
+        : n_(n), p_(workers), strategy_(strategy), weights_(std::move(workerWeights))
+    {
+        if (p_ == 0) throw std::invalid_argument("LoopScheduler: workers must be positive");
+        if (weights_.empty()) weights_.assign(p_, 1.0);
+        if (weights_.size() != p_)
+            throw std::invalid_argument("LoopScheduler: weight count mismatch");
+        double wsum = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+        for (auto& w : weights_)
+            w = w * double(p_) / wsum; // normalize to mean 1
+    }
+
+    /// Claim the next chunk for \p worker. Returns {begin, end}; begin==end
+    /// signals exhaustion.
+    std::pair<std::size_t, std::size_t> next(std::size_t worker)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (cursor_ >= n_) return {n_, n_};
+        std::size_t remaining = n_ - cursor_;
+        std::size_t c = 1;
+        switch (strategy_)
+        {
+            case SchedulingStrategy::Static:
+                c = std::max<std::size_t>(1, n_ / p_ + (handed_ < n_ % p_ ? 1 : 0));
+                break;
+            case SchedulingStrategy::SelfScheduling: c = 1; break;
+            case SchedulingStrategy::Guided:
+                c = std::max<std::size_t>(1, remaining / p_);
+                break;
+            case SchedulingStrategy::Trapezoid:
+            {
+                if (tssFirst_ == 0)
+                {
+                    tssFirst_ = std::max<std::size_t>(1, n_ / (2 * p_));
+                    std::size_t steps = (2 * n_) / (tssFirst_ + 1);
+                    tssDelta_ = steps > 1 ? double(tssFirst_ - 1) / double(steps - 1) : 0.0;
+                    tssCur_   = double(tssFirst_);
+                }
+                c = std::max<std::size_t>(1, std::size_t(tssCur_));
+                tssCur_ = std::max(1.0, tssCur_ - tssDelta_);
+                break;
+            }
+            case SchedulingStrategy::Factoring:
+            {
+                if (batchLeft_ == 0)
+                {
+                    batchChunk_ = std::max<std::size_t>(
+                        1, std::size_t(std::ceil(double(remaining) / double(2 * p_))));
+                    batchLeft_ = p_;
+                }
+                c = batchChunk_;
+                --batchLeft_;
+                break;
+            }
+            case SchedulingStrategy::AdaptiveWeightedFactoring:
+            {
+                if (batchLeft_ == 0)
+                {
+                    batchChunk_ = std::max<std::size_t>(
+                        1, std::size_t(std::ceil(double(remaining) / double(2 * p_))));
+                    batchLeft_ = p_;
+                }
+                c = std::max<std::size_t>(
+                    1, std::size_t(std::round(double(batchChunk_) * weights_[worker])));
+                --batchLeft_;
+                break;
+            }
+        }
+        c = std::min(c, remaining);
+        std::size_t begin = cursor_;
+        cursor_ += c;
+        ++handed_;
+        return {begin, begin + c};
+    }
+
+    std::size_t chunksHanded() const { return handed_; }
+
+    /// AWF weight adaptation: new weights proportional to measured rates
+    /// (iterations per second); call between loop executions.
+    void adaptWeights(std::span<const double> rates)
+    {
+        if (rates.size() != p_) throw std::invalid_argument("adaptWeights: size mismatch");
+        double sum = 0;
+        for (double r : rates)
+            sum += r;
+        if (sum <= 0) return;
+        for (std::size_t w = 0; w < p_; ++w)
+        {
+            weights_[w] = rates[w] * double(p_) / sum;
+        }
+        cursor_ = 0;
+        handed_ = 0;
+        batchLeft_ = 0;
+        tssFirst_ = 0;
+    }
+
+    const std::vector<double>& weights() const { return weights_; }
+
+    void reset()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        cursor_ = 0;
+        handed_ = 0;
+        batchLeft_ = 0;
+        tssFirst_ = 0;
+    }
+
+private:
+    std::size_t n_, p_;
+    SchedulingStrategy strategy_;
+    std::vector<double> weights_;
+
+    std::mutex mu_;
+    std::size_t cursor_{0};
+    std::size_t handed_{0};
+    std::size_t batchChunk_{0};
+    std::size_t batchLeft_{0};
+    std::size_t tssFirst_{0};
+    double tssDelta_{0};
+    double tssCur_{0};
+};
+
+/// Result of one measured loop execution.
+struct LoopExecutionReport
+{
+    std::vector<double> workerBusySeconds; ///< per-worker useful time
+    std::size_t chunks = 0;                ///< scheduling events (overhead proxy)
+    double wallSeconds = 0;
+
+    /// POP-style load balance of the execution: mean/max busy time.
+    double loadBalance() const
+    {
+        double mx = 0, sum = 0;
+        for (double t : workerBusySeconds)
+        {
+            mx = std::max(mx, t);
+            sum += t;
+        }
+        return mx > 0 ? sum / (double(workerBusySeconds.size()) * mx) : 1.0;
+    }
+};
+
+/// Run body(i) for i in [0, n) on \p workers std::threads under the given
+/// strategy, measuring per-worker busy time. The harness of the scheduling
+/// ablation; the production SPH loops use OpenMP directly.
+inline LoopExecutionReport executeLoop(std::size_t n, std::size_t workers,
+                                       SchedulingStrategy strategy,
+                                       const std::function<void(std::size_t)>& body,
+                                       std::vector<double> weights = {})
+{
+    LoopScheduler sched(n, workers, strategy, std::move(weights));
+    LoopExecutionReport rep;
+    rep.workerBusySeconds.assign(workers, 0.0);
+
+    Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+    {
+        threads.emplace_back([&, w] {
+            Timer busy;
+            double total = 0;
+            while (true)
+            {
+                auto [b, e] = sched.next(w);
+                if (b == e) break;
+                busy.reset();
+                for (std::size_t i = b; i < e; ++i)
+                    body(i);
+                total += busy.elapsed();
+            }
+            rep.workerBusySeconds[w] = total;
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    rep.wallSeconds = wall.elapsed();
+    rep.chunks = sched.chunksHanded();
+    return rep;
+}
+
+} // namespace sphexa

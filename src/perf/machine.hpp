@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file machine.hpp
+/// Models of the two HPC systems of Sec. 5.2, used by the cluster simulator
+/// to convert measured per-rank work and counted communication into wall
+/// time:
+///
+///  - Piz Daint (hybrid partition): Cray XC50, one 12-core Intel E5-2690 v3
+///    (Haswell) per node, Aries dragonfly interconnect.
+///  - MareNostrum 4: Lenovo, two 24-core Intel Xeon Platinum 8160 (Skylake)
+///    per node (48 cores/node), 100 Gb Intel Omni-Path full fat tree.
+///
+/// Per-core speed is expressed relative to the machine the calibration ran
+/// on; network parameters are public latency/bandwidth figures for the
+/// respective fabrics. The figures' x-axes ("Piz Daint=12c/cn,
+/// MareNostrum=48c/cn") follow from coresPerNode.
+
+#include <string>
+
+namespace sphexa {
+
+/// Hockney alpha-beta network parameters.
+struct NetworkParams
+{
+    double latencySeconds;      ///< alpha: per-message latency
+    double bandwidthBytesPerSec;///< beta: sustained point-to-point bandwidth
+    std::string topology;
+};
+
+struct Machine
+{
+    std::string name;
+    int coresPerNode;
+    /// Relative per-core throughput (calibration machine = 1.0).
+    double coreSpeed;
+    /// Intra-node parallel efficiency model: fraction of ideal speedup
+    /// retained per doubling of threads (memory-bandwidth contention).
+    double threadEfficiencyPerDoubling;
+    NetworkParams network;
+
+    /// Effective parallel speedup of t threads on one node.
+    double threadSpeedup(int t) const
+    {
+        if (t <= 1) return 1.0;
+        double speedup = 1.0;
+        double eff     = 1.0;
+        int cur = 1;
+        while (cur < t)
+        {
+            int next = std::min(2 * cur, t);
+            eff *= threadEfficiencyPerDoubling;
+            speedup = double(next) * eff;
+            cur = next;
+        }
+        return speedup;
+    }
+};
+
+/// Piz Daint hybrid partition (XC50). Aries: ~1.3 us latency, ~10 GB/s
+/// effective per-link bandwidth, dragonfly.
+inline Machine pizDaint()
+{
+    return Machine{
+        "Piz Daint",
+        12,
+        1.0,
+        0.97,
+        NetworkParams{1.3e-6, 10.0e9, "Dragonfly (Aries)"},
+    };
+}
+
+/// MareNostrum 4. Omni-Path 100 Gb: ~1.1 us latency, ~12.3 GB/s, fat tree.
+/// Skylake 8160 cores clock slightly lower than the XC50 Haswell at SPH's
+/// mixed compute/memory profile but the node is 4x wider.
+inline Machine mareNostrum4()
+{
+    return Machine{
+        "MareNostrum",
+        48,
+        0.95,
+        0.96,
+        NetworkParams{1.1e-6, 12.3e9, "Full-Fat Tree (Omni-Path)"},
+    };
+}
+
+} // namespace sphexa

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file netmodel.hpp
+/// Hockney-style communication time model on top of the simmpi traffic
+/// counters: converts (messages, bytes) into seconds for a given machine.
+///
+///   point-to-point:  t = alpha + bytes / beta
+///   allreduce     :  t = 2 log2(P) alpha + 2 (bytes/beta) (Rabenseifner)
+///   allgatherv    :  t = log2(P) alpha + (P-1)/P total_bytes / beta
+///
+/// The model deliberately ignores congestion and topology detail beyond the
+/// per-machine (alpha, beta); Sec. 5.2 of the paper reports communication
+/// efficiency "close to ideal" at these scales, so first-order costs
+/// suffice to reproduce the strong-scaling shape.
+
+#include <cmath>
+#include <cstddef>
+
+#include "perf/machine.hpp"
+
+namespace sphexa {
+
+class NetworkModel
+{
+public:
+    explicit NetworkModel(const NetworkParams& params) : p_(params) {}
+
+    double pointToPoint(std::size_t bytes) const
+    {
+        return p_.latencySeconds + double(bytes) / p_.bandwidthBytesPerSec;
+    }
+
+    /// Time for \p messages point-to-point sends of \p totalBytes in
+    /// aggregate, assuming they serialize on the NIC.
+    double p2pBatch(std::size_t messages, std::size_t totalBytes) const
+    {
+        return double(messages) * p_.latencySeconds +
+               double(totalBytes) / p_.bandwidthBytesPerSec;
+    }
+
+    double allreduce(int ranks, std::size_t bytes) const
+    {
+        if (ranks <= 1) return 0.0;
+        double rounds = std::ceil(std::log2(double(ranks)));
+        return 2.0 * rounds * p_.latencySeconds +
+               2.0 * double(bytes) / p_.bandwidthBytesPerSec;
+    }
+
+    double allgatherv(int ranks, std::size_t totalBytes) const
+    {
+        if (ranks <= 1) return 0.0;
+        double rounds = std::ceil(std::log2(double(ranks)));
+        return rounds * p_.latencySeconds +
+               double(ranks - 1) / double(ranks) * double(totalBytes) /
+                   p_.bandwidthBytesPerSec;
+    }
+
+    double barrier(int ranks) const
+    {
+        if (ranks <= 1) return 0.0;
+        return std::ceil(std::log2(double(ranks))) * p_.latencySeconds;
+    }
+
+    const NetworkParams& params() const { return p_; }
+
+private:
+    NetworkParams p_;
+};
+
+} // namespace sphexa

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing utilities used by the simulation driver (per-phase
+/// timings), the tracer, and the benches.
+
+#include <chrono>
+
+namespace sphexa {
+
+/// Monotonic wall-clock timer, seconds as double.
+class Timer
+{
+public:
+    Timer() { reset(); }
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Seconds since construction or last reset().
+    double elapsed() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Seconds since last reset, then reset.
+    double lap()
+    {
+        double e = elapsed();
+        reset();
+        return e;
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace sphexa

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file eos.hpp
+/// Equations of state.
+///
+/// The two test cases of the paper exercise two different closures:
+///  - Evrard collapse: ideal gas, gamma = 5/3 (astrophysics codes)
+///  - rotating square patch: weakly-compressible liquid, for which the CFD
+///    parent (SPH-flow) uses a stiffened Tait/Cole equation
+/// plus an isothermal EOS used in astrophysical cold-flow setups.
+
+#include <cmath>
+#include <limits>
+#include <string_view>
+#include <variant>
+
+namespace sphexa {
+
+/// Result of an EOS evaluation.
+template<class T>
+struct EosResult
+{
+    T pressure;
+    T soundSpeed;
+};
+
+/// Ideal gas: P = (gamma - 1) rho u,  c = sqrt(gamma P / rho).
+template<class T>
+class IdealGasEos
+{
+public:
+    explicit IdealGasEos(T gamma = T(5) / T(3)) : gamma_(gamma) {}
+
+    EosResult<T> operator()(T rho, T u) const
+    {
+        T p = (gamma_ - T(1)) * rho * u;
+        T c = std::sqrt(gamma_ * p / rho);
+        return {p, c};
+    }
+
+    T gamma() const { return gamma_; }
+
+private:
+    T gamma_;
+};
+
+/// Tait (Cole) equation for weakly-compressible liquids:
+///     P = B [ (rho/rho0)^gamma - 1 ],   B = rho0 c0^2 / gamma.
+/// c0 is chosen ~10x the maximum flow speed so density varies < 1%.
+///
+/// An optional pressure floor implements the "tensile stability control" the
+/// paper mentions for the rotating square patch (Sec. 5.1): the SPH density
+/// summation under-counts at free surfaces, and without a floor the stiff
+/// Tait response turns that deficiency into spuriously large negative
+/// pressures that destroy the patch (the tensile instability).
+template<class T>
+class TaitEos
+{
+public:
+    TaitEos(T rho0, T c0, T gamma = T(7),
+            T pressureFloor = -std::numeric_limits<T>::infinity())
+        : rho0_(rho0), c0_(c0), gamma_(gamma), B_(rho0 * c0 * c0 / gamma),
+          floor_(pressureFloor)
+    {
+    }
+
+    EosResult<T> operator()(T rho, T /*u*/) const
+    {
+        T ratio = rho / rho0_;
+        T p     = B_ * (std::pow(ratio, gamma_) - T(1));
+        if (p < floor_) p = floor_;
+        // c^2 = dP/drho = gamma B / rho0 (rho/rho0)^(gamma-1)
+        T c2 = gamma_ * B_ / rho0_ * std::pow(ratio, gamma_ - T(1));
+        return {p, std::sqrt(c2)};
+    }
+
+    T referenceDensity() const { return rho0_; }
+    T referenceSoundSpeed() const { return c0_; }
+    T gamma() const { return gamma_; }
+    T pressureFloor() const { return floor_; }
+
+private:
+    T rho0_, c0_, gamma_, B_, floor_;
+};
+
+/// Isothermal: P = c_iso^2 rho with constant sound speed.
+template<class T>
+class IsothermalEos
+{
+public:
+    explicit IsothermalEos(T cIso) : cIso_(cIso) {}
+
+    EosResult<T> operator()(T rho, T /*u*/) const
+    {
+        return {cIso_ * cIso_ * rho, cIso_};
+    }
+
+    T soundSpeed() const { return cIso_; }
+
+private:
+    T cIso_;
+};
+
+/// Type-erased EOS usable in the simulation driver without virtual dispatch
+/// in the inner loop (evaluated per particle, not per pair).
+template<class T>
+class Eos
+{
+public:
+    Eos() : eos_(IdealGasEos<T>{}) {}
+    Eos(IdealGasEos<T> e) : eos_(e) {}
+    Eos(TaitEos<T> e) : eos_(e) {}
+    Eos(IsothermalEos<T> e) : eos_(e) {}
+
+    EosResult<T> operator()(T rho, T u) const
+    {
+        return std::visit([&](const auto& e) { return e(rho, u); }, eos_);
+    }
+
+    std::string_view name() const
+    {
+        switch (eos_.index())
+        {
+            case 0: return "ideal-gas";
+            case 1: return "tait";
+            case 2: return "isothermal";
+        }
+        return "?";
+    }
+
+    bool isIdealGas() const { return eos_.index() == 0; }
+
+private:
+    std::variant<IdealGasEos<T>, TaitEos<T>, IsothermalEos<T>> eos_;
+};
+
+} // namespace sphexa

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file iad.hpp
+/// Integral Approach to Derivatives (IAD), Garcia-Senz, Cabezon & Escartin
+/// 2012 — SPHYNX's gradient formulation (Table 1) and one of the two
+/// gradient options of the mini-app (Table 2).
+///
+/// Per particle a, the symmetric matrix
+///     tau_ij(a) = sum_b V_b (r_b - r_a)_i (r_b - r_a)_j W_ab(h_a)
+/// is inverted to give coefficients C(a) = tau^{-1}. The kernel-gradient
+/// replacement used in the momentum/energy equations is then
+///     A_ab(h_a) = C(a) . (r_b - r_a) W_ab(h_a),
+/// which is exact for linear fields regardless of particle disorder (the
+/// property tested in test_sph_gradients.cpp).
+
+#include <span>
+#include <utility>
+
+#include "domain/box.hpp"
+#include "math/matrix3.hpp"
+#include "sph/kernels.hpp"
+#include "sph/particles.hpp"
+#include "tree/neighbors.hpp"
+
+namespace sphexa {
+
+/// Gradient formulation selector (Table 2: "IAD, Kernel derivatives").
+enum class GradientMode
+{
+    KernelDerivative, ///< analytic grad W (ChaNGa, SPH-flow)
+    IAD,              ///< integral approach (SPHYNX)
+};
+
+constexpr std::string_view gradientModeName(GradientMode g)
+{
+    return g == GradientMode::KernelDerivative ? "Kernel derivatives" : "IAD";
+}
+
+/// Compute the IAD coefficient matrices C(a) = tau^{-1}(a) for all
+/// particles; stores the 6 independent components in c11..c33.
+template<class T, class KernelT>
+void computeIadCoefficients(ParticleSet<T>& ps, const NeighborList<T>& nl,
+                            const KernelT& kernel, const Box<T>& box,
+                            std::type_identity_t<std::span<const std::size_t>> active = {})
+{
+    std::size_t count = active.empty() ? ps.size() : active.size();
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::size_t idx = 0; idx < count; ++idx)
+    {
+        std::size_t i = active.empty() ? idx : active[idx];
+        T hi = ps.h[i];
+        Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
+        SymMat3<T> tau;
+
+        for (auto j : nl.neighbors(i))
+        {
+            // r_b - r_a, minimum image
+            Vec3<T> rba = -box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
+            T r = norm(rba);
+            T w = kernel.value(r, hi);
+            tau.addOuter(rba, ps.vol[j] * w);
+        }
+
+        SymMat3<T> c = tau.inverse();
+        ps.c11[i] = c.xx;
+        ps.c12[i] = c.xy;
+        ps.c13[i] = c.xz;
+        ps.c22[i] = c.yy;
+        ps.c23[i] = c.yz;
+        ps.c33[i] = c.zz;
+    }
+}
+
+/// IAD kernel-gradient replacement A_ab(h_a) = C(a) . (r_b - r_a) W_ab(h_a).
+/// \p rba must be the minimum-image vector r_b - r_a.
+template<class T, class KernelT>
+Vec3<T> iadGradient(const ParticleSet<T>& ps, std::size_t i, const Vec3<T>& rba, T r,
+                    const KernelT& kernel)
+{
+    T w = kernel.value(r, ps.h[i]);
+    SymMat3<T> c{ps.c11[i], ps.c12[i], ps.c13[i], ps.c22[i], ps.c23[i], ps.c33[i]};
+    return (c * rba) * w;
+}
+
+/// Estimate the gradient of an arbitrary per-particle scalar field with IAD:
+///     grad f(a) = sum_b V_b (f_b - f_a) A_ab.
+/// Used by tests (linear-field exactness) and by the gradients ablation.
+template<class T, class KernelT>
+Vec3<T> iadScalarGradient(const ParticleSet<T>& ps, const NeighborList<T>& nl,
+                          const KernelT& kernel, const Box<T>& box,
+                          std::span<const T> field, std::size_t i)
+{
+    Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
+    Vec3<T> grad{};
+    for (auto j : nl.neighbors(i))
+    {
+        Vec3<T> rba = -box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
+        T r = norm(rba);
+        Vec3<T> A = iadGradient(ps, i, rba, r, kernel);
+        grad += ps.vol[j] * (field[j] - field[i]) * A;
+    }
+    return grad;
+}
+
+/// Kernel-derivative estimate of the same scalar gradient, for comparison:
+///     grad f(a) = sum_b V_b (f_b - f_a) grad_a W_ab.
+template<class T, class KernelT>
+Vec3<T> kernelDerivativeScalarGradient(const ParticleSet<T>& ps, const NeighborList<T>& nl,
+                                       const KernelT& kernel, const Box<T>& box,
+                                       std::span<const T> field, std::size_t i)
+{
+    Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
+    Vec3<T> grad{};
+    for (auto j : nl.neighbors(i))
+    {
+        Vec3<T> rab = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]}); // r_a - r_b
+        T r = norm(rab);
+        if (r <= T(0)) continue;
+        // grad_a W_ab = (r_a - r_b)/r * dW/dr
+        Vec3<T> gw = rab * (kernel.derivative(r, ps.h[i]) / r);
+        grad += ps.vol[j] * (field[j] - field[i]) * gw;
+    }
+    return grad;
+}
+
+} // namespace sphexa

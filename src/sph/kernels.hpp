@@ -1,0 +1,262 @@
+#pragma once
+
+/// \file kernels.hpp
+/// SPH interpolation kernels: the three families the SPH-EXA mini-app must
+/// support per Table 2 of the paper.
+///
+///  - Sinc family S_n (SPHYNX; Cabezon, Garcia-Senz & Relano 2008)
+///  - M4 cubic spline (ChaNGa; Monaghan & Lattanzio 1985)
+///  - Wendland C2/C4/C6 (ChaNGa, SPH-flow; Dehnen & Aly 2012)
+///
+/// All kernels are normalized in 3D and share a compact support radius of
+/// 2h, so neighbor discovery is kernel-agnostic. q = r/h throughout:
+///
+///     W(r, h)      = sigma / h^3 * f(q)
+///     dW/dr        = sigma / h^4 * f'(q)
+///     dW/dh        = -sigma / h^4 * (3 f(q) + q f'(q))     (grad-h term)
+///
+/// The sinc normalization has no closed form for arbitrary exponent n; it is
+/// computed at construction by adaptive quadrature (math/quadrature.hpp).
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string_view>
+
+#include "math/lookup_table.hpp"
+#include "math/quadrature.hpp"
+
+namespace sphexa {
+
+enum class KernelType
+{
+    Sinc,        ///< S_n(q) = B_n sinc(pi q / 2)^n, SPHYNX default (n ~ 5)
+    CubicSpline, ///< M4 spline, the classic SPH kernel
+    WendlandC2,
+    WendlandC4,
+    WendlandC6,
+};
+
+constexpr std::string_view kernelName(KernelType k)
+{
+    switch (k)
+    {
+        case KernelType::Sinc: return "Sinc";
+        case KernelType::CubicSpline: return "M4 spline";
+        case KernelType::WendlandC2: return "Wendland C2";
+        case KernelType::WendlandC4: return "Wendland C4";
+        case KernelType::WendlandC6: return "Wendland C6";
+    }
+    return "?";
+}
+
+/// A 3D-normalized compact-support SPH kernel.
+///
+/// The class is a value type: cheap to copy, safe to share across threads
+/// (all evaluation methods are const and touch only immutable state).
+template<class T>
+class Kernel
+{
+public:
+    /// All supported kernels vanish at q = supportRadius.
+    static constexpr T supportRadius = T(2);
+
+    /// Build a kernel of the given type. \p sincExponent is used only by
+    /// KernelType::Sinc; SPHYNX operates n in [3, 12] with 5 typical.
+    explicit Kernel(KernelType type = KernelType::Sinc, T sincExponent = T(5))
+        : type_(type), n_(sincExponent)
+    {
+        if (type_ == KernelType::Sinc)
+        {
+            if (!(n_ > T(2))) throw std::invalid_argument("sinc exponent must exceed 2");
+            // B_n = 1 / (4 pi int_0^2 f(q) q^2 dq)
+            T integral = integrate<T>([this](T q) { return fqRaw(q) * q * q; }, T(0),
+                                      supportRadius, T(1e-14));
+            sigma_ = T(1) / (T(4) * std::numbers::pi_v<T> * integral);
+        }
+        else
+        {
+            sigma_ = closedFormSigma(type_);
+        }
+    }
+
+    KernelType type() const { return type_; }
+    T sincExponent() const { return n_; }
+
+    /// 3D normalization constant sigma (W = sigma/h^3 f(q)).
+    T normalization() const { return sigma_; }
+
+    /// Dimensionless kernel shape f(q), with f(q >= 2) = 0.
+    T fq(T q) const { return q >= supportRadius ? T(0) : sigma_ * fqRaw(q); }
+
+    /// Dimensionless derivative f'(q).
+    T dfq(T q) const { return q >= supportRadius ? T(0) : sigma_ * dfqRaw(q); }
+
+    /// Kernel value W(r, h).
+    T value(T r, T h) const { return fq(r / h) / (h * h * h); }
+
+    /// Radial derivative dW/dr (negative inside the support).
+    T derivative(T r, T h) const { return dfq(r / h) / (h * h * h * h); }
+
+    /// Derivative with respect to the smoothing length, dW/dh.
+    T dh(T r, T h) const
+    {
+        T q = r / h;
+        return -(T(3) * fq(q) + q * dfq(q)) / (h * h * h * h);
+    }
+
+private:
+    static T closedFormSigma(KernelType type)
+    {
+        constexpr T pi = std::numbers::pi_v<T>;
+        switch (type)
+        {
+            case KernelType::CubicSpline: return T(1) / pi;
+            case KernelType::WendlandC2: return T(21) / (T(16) * pi);
+            case KernelType::WendlandC4: return T(495) / (T(256) * pi);
+            case KernelType::WendlandC6: return T(1365) / (T(512) * pi);
+            default: return T(0); // unreachable; sinc handled numerically
+        }
+    }
+
+    /// Un-normalized shape.
+    T fqRaw(T q) const
+    {
+        switch (type_)
+        {
+            case KernelType::Sinc:
+            {
+                return std::pow(sinc(std::numbers::pi_v<T> / 2 * q), n_);
+            }
+            case KernelType::CubicSpline:
+            {
+                if (q < T(1)) return T(1) - T(1.5) * q * q + T(0.75) * q * q * q;
+                T t = T(2) - q;
+                return T(0.25) * t * t * t;
+            }
+            case KernelType::WendlandC2:
+            {
+                T t = T(1) - q / 2;
+                T t2 = t * t;
+                return t2 * t2 * (T(2) * q + T(1));
+            }
+            case KernelType::WendlandC4:
+            {
+                T t = T(1) - q / 2;
+                T t2 = t * t;
+                return t2 * t2 * t2 * ((T(35) / 12) * q * q + T(3) * q + T(1));
+            }
+            case KernelType::WendlandC6:
+            {
+                T t = T(1) - q / 2;
+                T t2 = t * t;
+                T t4 = t2 * t2;
+                return t4 * t4 * (T(4) * q * q * q + (T(25) / 4) * q * q + T(4) * q + T(1));
+            }
+        }
+        return T(0);
+    }
+
+    /// Un-normalized derivative d f / d q.
+    T dfqRaw(T q) const
+    {
+        switch (type_)
+        {
+            case KernelType::Sinc:
+            {
+                constexpr T halfPi = std::numbers::pi_v<T> / 2;
+                T x = halfPi * q;
+                T s = sinc(x);
+                // d/dq [S(x)^n] = n S^{n-1} S'(x) * halfPi
+                return n_ * std::pow(s, n_ - T(1)) * dsinc(x) * halfPi;
+            }
+            case KernelType::CubicSpline:
+            {
+                if (q < T(1)) return -T(3) * q + T(2.25) * q * q;
+                T t = T(2) - q;
+                return -T(0.75) * t * t;
+            }
+            case KernelType::WendlandC2:
+            {
+                T t = T(1) - q / 2;
+                return -T(5) * q * t * t * t;
+            }
+            case KernelType::WendlandC4:
+            {
+                T t  = T(1) - q / 2;
+                T t2 = t * t;
+                return -(T(7) / 3) * q * (T(5) * q + T(2)) * t2 * t2 * t;
+            }
+            case KernelType::WendlandC6:
+            {
+                T t  = T(1) - q / 2;
+                T t2 = t * t;
+                T t4 = t2 * t2;
+                return -(T(11) / 4) * q * (T(8) * q * q + T(7) * q + T(2)) * t4 * t2 * t;
+            }
+        }
+        return T(0);
+    }
+
+    /// sinc(x) = sin(x)/x with the removable singularity handled by series.
+    static T sinc(T x)
+    {
+        if (std::abs(x) < T(1e-4))
+        {
+            T x2 = x * x;
+            return T(1) - x2 / 6 + x2 * x2 / 120;
+        }
+        return std::sin(x) / x;
+    }
+
+    /// d sinc / d x.
+    static T dsinc(T x)
+    {
+        if (std::abs(x) < T(1e-4))
+        {
+            T x2 = x * x;
+            return -x / 3 + x * x2 / 30;
+        }
+        return (x * std::cos(x) - std::sin(x)) / (x * x);
+    }
+
+    KernelType type_;
+    T n_;
+    T sigma_{};
+};
+
+/// Table-accelerated kernel: SPHYNX-style lookup of f(q) and f'(q).
+///
+/// Density/momentum loops can use this drop-in to avoid transcendental
+/// evaluation of the sinc kernel; accuracy is controlled by table size.
+template<class T>
+class TabulatedKernel
+{
+public:
+    explicit TabulatedKernel(const Kernel<T>& kernel, std::size_t tableSize = 20000)
+        : fTable_([&](T q) { return kernel.fq(q); }, T(0), Kernel<T>::supportRadius, tableSize)
+        , dfTable_([&](T q) { return kernel.dfq(q); }, T(0), Kernel<T>::supportRadius, tableSize)
+        , type_(kernel.type())
+    {
+    }
+
+    KernelType type() const { return type_; }
+
+    T fq(T q) const { return q >= Kernel<T>::supportRadius ? T(0) : fTable_(q); }
+    T dfq(T q) const { return q >= Kernel<T>::supportRadius ? T(0) : dfTable_(q); }
+
+    T value(T r, T h) const { return fq(r / h) / (h * h * h); }
+    T derivative(T r, T h) const { return dfq(r / h) / (h * h * h * h); }
+    T dh(T r, T h) const
+    {
+        T q = r / h;
+        return -(T(3) * fq(q) + q * dfq(q)) / (h * h * h * h);
+    }
+
+private:
+    LookupTable<T> fTable_;
+    LookupTable<T> dfTable_;
+    KernelType type_;
+};
+
+} // namespace sphexa

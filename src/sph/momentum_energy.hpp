@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file momentum_energy.hpp
+/// SPH momentum and energy equations (step 3 of Algorithm 1), in both
+/// gradient formulations of Table 2:
+///
+///  - Kernel derivatives (ChaNGa, SPH-flow):
+///      dv_a/dt = -sum_b m_b [ P_a/(Om_a rho_a^2) gradW_ab(h_a)
+///                           + P_b/(Om_b rho_b^2) gradW_ab(h_b) ]  + AV
+///  - IAD (SPHYNX): gradW_ab(h_a) replaced by A_ab(h_a) = C(a) r_ba W_ab.
+///
+/// Artificial viscosity is Monaghan (1992) with the Balsara switch:
+///      Pi_ab = (-alpha cbar mu + beta mu^2)/rhobar * (f_a + f_b)/2,
+///      mu = hbar v_ab.r_ab / (r^2 + eps hbar^2)  when v_ab.r_ab < 0.
+///
+/// The loop is accumulate-to-self only (no scatter), making it lock-free;
+/// exact pairwise antisymmetry (and therefore momentum conservation) holds
+/// when neighbor lists are pair-symmetric (see symmetrizeNeighborList).
+
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "domain/box.hpp"
+#include "sph/iad.hpp"
+#include "sph/kernels.hpp"
+#include "sph/particles.hpp"
+#include "tree/neighbors.hpp"
+
+namespace sphexa {
+
+/// Artificial-viscosity parameters.
+template<class T>
+struct ArtificialViscosity
+{
+    T alpha = T(1);
+    T beta  = T(2);
+    T eps   = T(0.01);   ///< softening in mu denominator
+    bool useBalsara = true;
+};
+
+/// Result accumulated per call for time-step control.
+template<class T>
+struct MomentumEnergyStats
+{
+    T maxVsignal = T(0); ///< max signal velocity (CFL input)
+};
+
+/// Compute accelerations ax/ay/az and du/dt for all particles.
+/// Gravity is accumulated separately and must be added afterwards.
+template<class T, class KernelT>
+MomentumEnergyStats<T> computeMomentumEnergy(ParticleSet<T>& ps, const NeighborList<T>& nl,
+                                             const KernelT& kernel, const Box<T>& box,
+                                             GradientMode mode,
+                                             const ArtificialViscosity<T>& av = {},
+                                             std::type_identity_t<std::span<const std::size_t>> active = {})
+{
+    std::size_t count = active.empty() ? ps.size() : active.size();
+    T maxVsig = T(0);
+
+#pragma omp parallel for schedule(dynamic, 64) reduction(max : maxVsig)
+    for (std::size_t idx = 0; idx < count; ++idx)
+    {
+        std::size_t i = active.empty() ? idx : active[idx];
+        Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
+        Vec3<T> vi{ps.vx[i], ps.vy[i], ps.vz[i]};
+        T rhoi = ps.rho[i];
+        T prhoi = ps.p[i] / (ps.gradh[i] * rhoi * rhoi);
+
+        Vec3<T> acc{};
+        T du = T(0);
+
+        for (auto j : nl.neighbors(i))
+        {
+            Vec3<T> rab = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]}); // r_a - r_b
+            T r = norm(rab);
+            if (r <= T(0)) continue;
+            Vec3<T> vab = vi - Vec3<T>{ps.vx[j], ps.vy[j], ps.vz[j]};
+
+            T rhoj  = ps.rho[j];
+            T prhoj = ps.p[j] / (ps.gradh[j] * rhoj * rhoj);
+
+            // gradient terms with h_a and h_b
+            Vec3<T> gwa, gwb;
+            if (mode == GradientMode::IAD)
+            {
+                // A_ab(h_a) = C(a) (r_b - r_a) W_ab(h_a) : "toward b" sense
+                gwa = iadGradient(ps, i, -rab, r, kernel);
+                // A_ba(h_b) = C(b) (r_a - r_b) W_ab(h_b); flip to a-centric
+                SymMat3<T> cb{ps.c11[j], ps.c12[j], ps.c13[j],
+                              ps.c22[j], ps.c23[j], ps.c33[j]};
+                gwb = -(cb * rab) * kernel.value(r, ps.h[j]);
+                // note: gwa points a->b (negative radial); gwb = -C(b) r_ab W(h_b)
+                // also points a->b for isotropic C.
+            }
+            else
+            {
+                T invR = T(1) / r;
+                gwa = rab * (kernel.derivative(r, ps.h[i]) * invR);
+                gwb = rab * (kernel.derivative(r, ps.h[j]) * invR);
+            }
+
+            // pressure part: dv_a/dt -= m_b (Pa' gwa_(a->b, so sign below) ...)
+            // Using the a-centric gradient (pointing a->b when dW/dr<0):
+            //   dv_a/dt += -m_b [prhoi * gwa + prhoj * gwb]
+            acc -= ps.m[j] * (prhoi * gwa + prhoj * gwb);
+
+            // energy: du_a/dt = prhoi sum_b m_b v_ab . gwa
+            du += ps.m[j] * prhoi * dot(vab, gwa);
+
+            // artificial viscosity on the symmetrized gradient
+            T vdotr = dot(vab, rab);
+            T cbar  = T(0.5) * (ps.c[i] + ps.c[j]);
+            T vsig  = ps.c[i] + ps.c[j] - T(3) * std::min(T(0), vdotr / r);
+            maxVsig = std::max(maxVsig, vsig);
+            if (vdotr < T(0))
+            {
+                T hbar   = T(0.5) * (ps.h[i] + ps.h[j]);
+                T rhobar = T(0.5) * (rhoi + rhoj);
+                T mu     = hbar * vdotr / (r * r + av.eps * hbar * hbar);
+                T f      = av.useBalsara ? T(0.5) * (ps.balsara[i] + ps.balsara[j]) : T(1);
+                T piab   = f * (-av.alpha * cbar * mu + av.beta * mu * mu) / rhobar;
+                Vec3<T> gwbar = T(0.5) * (gwa + gwb);
+                acc -= ps.m[j] * piab * gwbar;
+                du += T(0.5) * ps.m[j] * piab * dot(vab, gwbar);
+            }
+        }
+
+        ps.ax[i] = acc.x;
+        ps.ay[i] = acc.y;
+        ps.az[i] = acc.z;
+        ps.du[i] = du;
+    }
+
+    return {maxVsig};
+}
+
+/// Ensure neighbor lists are pair-symmetric: if j lists i, i lists j.
+/// Required for exact momentum conservation when smoothing lengths differ
+/// (a particle pair can satisfy r < 2 h_i but r > 2 h_j).
+template<class T>
+void symmetrizeNeighborList(NeighborList<T>& nl)
+{
+    using Index = typename NeighborList<T>::Index;
+    std::size_t n = nl.size();
+    std::vector<std::vector<Index>> missing(n);
+
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        for (auto j : nl.neighbors(i))
+        {
+            auto njs = nl.neighbors(j);
+            bool found = false;
+            for (auto k : njs)
+            {
+                if (k == Index(i))
+                {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) missing[j].push_back(Index(i));
+        }
+    }
+
+    std::vector<Index> merged;
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        if (missing[i].empty()) continue;
+        auto cur = nl.neighbors(i);
+        merged.assign(cur.begin(), cur.end());
+        merged.insert(merged.end(), missing[i].begin(), missing[i].end());
+        nl.set(i, merged);
+    }
+}
+
+} // namespace sphexa

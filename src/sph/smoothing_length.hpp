@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file smoothing_length.hpp
+/// Smoothing-length adaptation (step 2 of Algorithm 1: "Find neighbors and
+/// smoothing length").
+///
+/// "The simulation will try to reach a given target number of neighbors and
+/// this influences the value of the resulting smoothing length" (paper,
+/// footnote 2). Each particle's h is iterated until its neighbor count is
+/// within tolerance of the target (~10^2 per the paper), re-searching only
+/// the non-converged particles each pass — an individual tree walk.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "sph/particles.hpp"
+#include "tree/neighbors.hpp"
+#include "tree/octree.hpp"
+
+namespace sphexa {
+
+template<class T>
+struct SmoothingLengthParams
+{
+    unsigned targetNeighbors = 100; ///< ~10^2 neighbors (paper Sec. 3)
+    unsigned tolerance       = 5;   ///< acceptable |count - target|
+    unsigned maxIterations   = 10;
+    T minH = T(1e-12);
+};
+
+struct SmoothingLengthResult
+{
+    unsigned iterations   = 0; ///< passes actually performed
+    std::size_t unconverged = 0; ///< particles still out of tolerance
+};
+
+/// Is neighbor count \p c within tolerance of the target?
+inline bool neighborCountConverged(unsigned c, unsigned target, unsigned tolerance)
+{
+    return c + tolerance >= target && c <= target + tolerance;
+}
+
+/// One multiplicative h update driving the count toward the target:
+///     h <- h * 0.5 * (1 + cbrt(target / count)),
+/// a damped fixed-point step (count scales ~ h^3).
+template<class T>
+T updateH(T h, unsigned count, unsigned target)
+{
+    T c = T(count > 0 ? count : 1);
+    return h * T(0.5) * (T(1) + std::cbrt(T(target) / c));
+}
+
+/// Iterate h and neighbor lists to convergence. The octree must already be
+/// built over current positions; it is reused (h changes don't move
+/// particles). On return, nl holds lists consistent with the final h.
+template<class T>
+SmoothingLengthResult updateSmoothingLengths(ParticleSet<T>& ps, const Octree<T>& tree,
+                                             NeighborList<T>& nl,
+                                             const SmoothingLengthParams<T>& params = {})
+{
+    std::size_t n = ps.size();
+    findNeighborsGlobal(tree, std::span<const T>(ps.x), std::span<const T>(ps.y),
+                        std::span<const T>(ps.z), std::span<const T>(ps.h), nl);
+
+    SmoothingLengthResult res;
+    std::vector<std::size_t> active;
+    active.reserve(n);
+
+    for (unsigned it = 0; it < params.maxIterations; ++it)
+    {
+        active.clear();
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            unsigned c = nl.count(i);
+            ps.nc[i]   = int(c);
+            if (!neighborCountConverged(c, params.targetNeighbors, params.tolerance))
+            {
+                active.push_back(i);
+            }
+        }
+        if (active.empty()) break;
+
+        ++res.iterations;
+#pragma omp parallel for schedule(static)
+        for (std::size_t a = 0; a < active.size(); ++a)
+        {
+            std::size_t i = active[a];
+            ps.h[i] = std::max(params.minH,
+                               updateH(ps.h[i], nl.count(i), params.targetNeighbors));
+        }
+
+        findNeighborsIndividual(tree, std::span<const T>(ps.x), std::span<const T>(ps.y),
+                                std::span<const T>(ps.z), std::span<const T>(ps.h), active,
+                                nl);
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        unsigned c = nl.count(i);
+        ps.nc[i]   = int(c);
+        if (!neighborCountConverged(c, params.targetNeighbors, params.tolerance))
+        {
+            ++res.unconverged;
+        }
+    }
+    return res;
+}
+
+/// Initial h estimate for roughly uniform particle distributions: the radius
+/// enclosing the target number of neighbors in a uniform density field.
+template<class T>
+T initialSmoothingLength(std::size_t nParticles, const Box<T>& box, unsigned targetNeighbors)
+{
+    T volPerParticle = box.volume() / T(nParticles);
+    // (4/3) pi (2h)^3 * n / V = target  =>  h = 0.5 * cbrt(3 target V / (4 pi n))
+    T r = std::cbrt(T(3) * T(targetNeighbors) * volPerParticle /
+                    (T(4) * std::numbers::pi_v<T>));
+    return T(0.5) * r;
+}
+
+} // namespace sphexa

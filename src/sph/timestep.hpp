@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file timestep.hpp
+/// Time-step control (step 5 of Algorithm 1), in the three modes of
+/// Table 2: "Equal, Variable, and Adaptive".
+///
+///  - Global (equal): one Delta t = min_i dt_i for all particles (SPHYNX).
+///  - Individual (variable): power-of-two bins dt_min * 2^k; a particle is
+///    active only when the global step counter is a multiple of 2^k
+///    (ChaNGa's multi-time-stepping). The paper identifies multi-
+///    time-stepping as a primary load-imbalance source (Sec. 4).
+///  - Adaptive: one global step, re-evaluated each step and rate-limited
+///    (SPH-flow).
+///
+/// Per-particle candidate: dt_i = C_cfl * h_i / vsig_i combined with the
+/// acceleration criterion dt_i = C_acc * sqrt(h_i / |a_i|).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sph/particles.hpp"
+
+namespace sphexa {
+
+enum class TimesteppingMode
+{
+    Global,     ///< equal steps for all particles
+    Individual, ///< 2^k bins, hierarchical activity
+    Adaptive,   ///< global but continuously adapted with growth limit
+};
+
+constexpr std::string_view timesteppingName(TimesteppingMode m)
+{
+    switch (m)
+    {
+        case TimesteppingMode::Global: return "Global";
+        case TimesteppingMode::Individual: return "Individual";
+        case TimesteppingMode::Adaptive: return "Adaptive";
+    }
+    return "?";
+}
+
+template<class T>
+struct TimestepParams
+{
+    TimesteppingMode mode = TimesteppingMode::Global;
+    T cflCourant    = T(0.3);
+    T cflAccel      = T(0.25);
+    T maxGrowth     = T(1.1);  ///< adaptive: dt may grow at most 10%/step
+    int maxBins     = 8;       ///< individual: largest 2^k bin
+    T maxDt         = T(1e9);
+    T initialDt     = T(1e-7);
+};
+
+/// Per-particle time-step candidate from CFL + acceleration criteria.
+template<class T>
+T particleTimestep(const ParticleSet<T>& ps, std::size_t i, T maxVsignal, const TimestepParams<T>& par)
+{
+    T vsig = std::max(maxVsignal, ps.c[i]);
+    T dtCfl = par.cflCourant * ps.h[i] / vsig;
+    T a2 = ps.ax[i] * ps.ax[i] + ps.ay[i] * ps.ay[i] + ps.az[i] * ps.az[i];
+    T dtAcc = a2 > T(0) ? par.cflAccel * std::sqrt(ps.h[i] / std::sqrt(a2)) : par.maxDt;
+    return std::min({dtCfl, dtAcc, par.maxDt});
+}
+
+/// Controller holding the time-step state across the simulation loop.
+template<class T>
+class TimestepController
+{
+public:
+    explicit TimestepController(const TimestepParams<T>& par = {}) : par_(par) {}
+
+    const TimestepParams<T>& params() const { return par_; }
+    TimesteppingMode mode() const { return par_.mode; }
+
+    /// Evaluate per-particle time-steps and derive the next global step.
+    /// \p maxVsignal is the maximum signal velocity from the force pass.
+    /// Returns the Delta t to advance the system by.
+    T advance(ParticleSet<T>& ps, T maxVsignal)
+    {
+        std::size_t n = ps.size();
+        T dtMin = par_.maxDt;
+
+#pragma omp parallel for schedule(static) reduction(min : dtMin)
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            T dti = particleTimestep(ps, i, maxVsignal, par_);
+            ps.dt[i] = dti;
+            dtMin = std::min(dtMin, dti);
+        }
+        if (firstStep_)
+        {
+            firstStep_ = false;
+            dtMin = std::min(dtMin, par_.initialDt);
+        }
+
+        switch (par_.mode)
+        {
+            case TimesteppingMode::Global:
+            {
+                current_ = dtMin;
+                break;
+            }
+            case TimesteppingMode::Adaptive:
+            {
+                current_ = (current_ > T(0)) ? std::min(dtMin, current_ * par_.maxGrowth)
+                                             : dtMin;
+                break;
+            }
+            case TimesteppingMode::Individual:
+            {
+                // bin particles: bin k holds particles with dt in
+                // [dtMin 2^k, dtMin 2^(k+1))
+                baseDt_ = dtMin;
+#pragma omp parallel for schedule(static)
+                for (std::size_t i = 0; i < n; ++i)
+                {
+                    int k = 0;
+                    T scaled = ps.dt[i] / baseDt_;
+                    while (k < par_.maxBins && scaled >= T(2))
+                    {
+                        scaled /= T(2);
+                        ++k;
+                    }
+                    ps.bin[i] = k;
+                }
+                current_ = baseDt_; // system advances by the smallest bin
+                break;
+            }
+        }
+        ++stepCount_;
+        return current_;
+    }
+
+    /// Individual mode: which particles are active at the current step
+    /// (bin k active every 2^k base steps). In Global/Adaptive modes all
+    /// particles are always active.
+    std::vector<std::size_t> activeParticles(const ParticleSet<T>& ps) const
+    {
+        std::vector<std::size_t> act;
+        std::size_t n = ps.size();
+        act.reserve(n);
+        if (par_.mode != TimesteppingMode::Individual)
+        {
+            for (std::size_t i = 0; i < n; ++i)
+                act.push_back(i);
+            return act;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            std::uint64_t period = std::uint64_t(1) << ps.bin[i];
+            if (stepCount_ % period == 0) act.push_back(i);
+        }
+        return act;
+    }
+
+    T currentDt() const { return current_; }
+    std::uint64_t stepCount() const { return stepCount_; }
+
+    /// Restore controller state after a checkpoint restart: skip the
+    /// initial-dt cap and resume the step counter (2^k bin phase).
+    void restore(std::uint64_t stepCount, T currentDt)
+    {
+        stepCount_ = stepCount;
+        current_   = currentDt;
+        firstStep_ = false;
+    }
+
+private:
+    TimestepParams<T> par_;
+    T current_{0};
+    T baseDt_{0};
+    std::uint64_t stepCount_{0};
+    bool firstStep_{true};
+};
+
+} // namespace sphexa

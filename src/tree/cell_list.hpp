@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file cell_list.hpp
+/// Uniform-grid cell list: the classic alternative to tree-based neighbor
+/// discovery, used as a baseline in bench_neighbors and as an independent
+/// implementation for cross-checking the octree walk in tests.
+///
+/// The grid cell edge is the maximum interaction radius, so each query only
+/// inspects the 27 surrounding cells. Efficient when smoothing lengths are
+/// uniform (square patch), increasingly wasteful with strong h contrast
+/// (Evrard collapse) — exactly the trade-off that drives SPH codes to trees.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "domain/box.hpp"
+#include "tree/neighbors.hpp"
+
+namespace sphexa {
+
+template<class T>
+class CellList
+{
+public:
+    using Index = std::uint32_t;
+
+    /// Build over positions with interaction cutoff \p cutoff (cell edge).
+    void build(std::type_identity_t<std::span<const T>> x, std::type_identity_t<std::span<const T>> y, std::type_identity_t<std::span<const T>> z,
+               const Box<T>& box, T cutoff)
+    {
+        box_    = box;
+        cutoff_ = cutoff;
+        x_ = x; y_ = y; z_ = z;
+        for (int ax = 0; ax < 3; ++ax)
+        {
+            dims_[ax] = std::max<std::int64_t>(1, std::int64_t(box.length(ax) / cutoff));
+            cellLen_[ax] = box.length(ax) / T(dims_[ax]);
+        }
+        std::size_t nCells = std::size_t(dims_[0]) * dims_[1] * dims_[2];
+        std::size_t n      = x.size();
+
+        // counting sort into cells
+        cellStart_.assign(nCells + 1, 0);
+        std::vector<Index> cellOf(n);
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            cellOf[i] = cellIndex(cellCoords(Vec3<T>{x[i], y[i], z[i]}));
+            ++cellStart_[cellOf[i] + 1];
+        }
+        for (std::size_t c = 0; c < nCells; ++c)
+            cellStart_[c + 1] += cellStart_[c];
+        perm_.resize(n);
+        std::vector<Index> cursor(cellStart_.begin(), cellStart_.end() - 1);
+        for (std::size_t i = 0; i < n; ++i)
+            perm_[cursor[cellOf[i]]++] = Index(i);
+    }
+
+    /// Visit all particles within \p radius of \p pos; radius must be
+    /// <= cutoff used at build time.
+    template<class F>
+    void forEachNeighbor(const Vec3<T>& pos, T radius, F&& f) const
+    {
+        T r2 = radius * radius;
+        auto cc = cellCoords(pos);
+        for (int dz = -1; dz <= 1; ++dz)
+            for (int dy = -1; dy <= 1; ++dy)
+                for (int dx = -1; dx <= 1; ++dx)
+                {
+                    std::int64_t c[3] = {cc[0] + dx, cc[1] + dy, cc[2] + dz};
+                    if (!wrapCell(c)) continue;
+                    Index cid = cellIndex(c);
+                    for (Index k = cellStart_[cid]; k < cellStart_[cid + 1]; ++k)
+                    {
+                        Index j = perm_[k];
+                        Vec3<T> d = box_.delta(pos, Vec3<T>{x_[j], y_[j], z_[j]});
+                        T dist2 = norm2(d);
+                        if (dist2 < r2) f(j, dist2);
+                    }
+                }
+    }
+
+    std::int64_t cells(int axis) const { return dims_[axis]; }
+
+private:
+    std::array<std::int64_t, 3> cellCoords(const Vec3<T>& p) const
+    {
+        std::array<std::int64_t, 3> c;
+        for (int ax = 0; ax < 3; ++ax)
+        {
+            auto v = std::int64_t((p[ax] - box_.lo[ax]) / cellLen_[ax]);
+            c[ax]  = std::clamp<std::int64_t>(v, 0, dims_[ax] - 1);
+        }
+        return c;
+    }
+
+    /// Wrap or reject out-of-range cell coordinates. Returns false if the
+    /// cell is outside a non-periodic boundary.
+    bool wrapCell(std::int64_t c[3]) const
+    {
+        for (int ax = 0; ax < 3; ++ax)
+        {
+            if (c[ax] < 0)
+            {
+                if (!box_.pbc[ax]) return false;
+                c[ax] += dims_[ax];
+            }
+            else if (c[ax] >= dims_[ax])
+            {
+                if (!box_.pbc[ax]) return false;
+                c[ax] -= dims_[ax];
+            }
+        }
+        return true;
+    }
+
+    Index cellIndex(const std::array<std::int64_t, 3>& c) const
+    {
+        return Index((c[2] * dims_[1] + c[1]) * dims_[0] + c[0]);
+    }
+    Index cellIndex(const std::int64_t c[3]) const
+    {
+        return Index((c[2] * dims_[1] + c[1]) * dims_[0] + c[0]);
+    }
+
+    Box<T> box_{};
+    T      cutoff_{1};
+    std::type_identity_t<std::span<const T>> x_, y_, z_;
+    std::array<std::int64_t, 3> dims_{1, 1, 1};
+    std::array<T, 3>            cellLen_{1, 1, 1};
+    std::vector<Index> cellStart_;
+    std::vector<Index> perm_;
+};
+
+/// Fill neighbor lists with the cell-list backend (global mode).
+template<class T>
+void findNeighborsCellList(std::type_identity_t<std::span<const T>> x, std::type_identity_t<std::span<const T>> y, std::type_identity_t<std::span<const T>> z,
+                           std::type_identity_t<std::span<const T>> h, const Box<T>& box, NeighborList<T>& nl)
+{
+    using Index = std::uint32_t;
+    T hmax = T(0);
+    for (T hi : h)
+        hmax = std::max(hmax, hi);
+    CellList<T> cl;
+    cl.build(x, y, z, box, T(2) * hmax);
+
+    std::size_t n = x.size();
+#pragma omp parallel
+    {
+        std::vector<Index> local;
+#pragma omp for schedule(dynamic, 64)
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            local.clear();
+            cl.forEachNeighbor(Vec3<T>{x[i], y[i], z[i]}, T(2) * h[i], [&](Index j, T) {
+                if (j != Index(i)) local.push_back(j);
+            });
+            nl.set(i, local);
+        }
+    }
+}
+
+} // namespace sphexa

@@ -1,0 +1,171 @@
+#pragma once
+
+/// \file neighbors.hpp
+/// Neighbor discovery (step 2 of Algorithm 1): tree walks over the octree.
+///
+/// Per Table 1/2 of the paper, both discovery modes are provided:
+///  - Global tree walk (SPHYNX, SPH-flow): every particle searches each step.
+///  - Individual tree walk (ChaNGa): only an active subset searches — the
+///    mode used with individual (multi-) time-stepping.
+///
+/// Neighbor lists are stored flat with a fixed per-particle capacity
+/// (ngmax), the layout used by the production SPH-EXA mini-app; overflow is
+/// recorded rather than silently truncated.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tree/octree.hpp"
+
+namespace sphexa {
+
+/// Flat fixed-capacity neighbor lists.
+template<class T>
+class NeighborList
+{
+public:
+    using Index = typename Octree<T>::Index;
+
+    explicit NeighborList(std::size_t n = 0, unsigned ngmax = 256) { reset(n, ngmax); }
+
+    void reset(std::size_t n, unsigned ngmax)
+    {
+        n_     = n;
+        ngmax_ = ngmax;
+        list_.assign(n * ngmax, Index(0));
+        count_.assign(n, 0);
+        overflow_ = 0;
+    }
+
+    unsigned ngmax() const { return ngmax_; }
+    std::size_t size() const { return n_; }
+
+    /// Number of neighbors found for particle i (capped at ngmax).
+    unsigned count(std::size_t i) const { return count_[i]; }
+
+    /// Neighbor indices of particle i.
+    std::span<const Index> neighbors(std::size_t i) const
+    {
+        return {list_.data() + i * ngmax_, count_[i]};
+    }
+
+    /// Number of particles whose neighborhood exceeded ngmax in the last fill.
+    std::size_t overflowCount() const { return overflow_; }
+
+    /// Total number of neighbor entries (interaction count proxy).
+    std::size_t totalNeighbors() const
+    {
+        std::size_t s = 0;
+        for (auto c : count_)
+            s += c;
+        return s;
+    }
+
+    void set(std::size_t i, std::span<const Index> nbs)
+    {
+        unsigned c = unsigned(std::min<std::size_t>(nbs.size(), ngmax_));
+        for (unsigned k = 0; k < c; ++k)
+            list_[i * ngmax_ + k] = nbs[k];
+        count_[i] = c;
+        if (nbs.size() > ngmax_)
+        {
+#pragma omp atomic
+            ++overflow_;
+        }
+    }
+
+private:
+    std::size_t n_{0};
+    unsigned    ngmax_{256};
+    std::vector<Index>    list_;
+    std::vector<unsigned> count_;
+    std::size_t           overflow_{0};
+};
+
+/// Fill neighbor lists for all particles ("global tree walk").
+///
+/// The search radius of particle i is 2 h_i (kernel support). Self is
+/// excluded from the list; SPH sums add the self contribution analytically.
+template<class T>
+void findNeighborsGlobal(const Octree<T>& tree, std::type_identity_t<std::span<const T>> x, std::type_identity_t<std::span<const T>> y,
+                         std::type_identity_t<std::span<const T>> z, std::type_identity_t<std::span<const T>> h, NeighborList<T>& nl)
+{
+    using Index = typename Octree<T>::Index;
+    std::size_t n = x.size();
+#pragma omp parallel
+    {
+        std::vector<Index> local;
+        local.reserve(nl.ngmax());
+#pragma omp for schedule(dynamic, 64)
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            local.clear();
+            Vec3<T> pos{x[i], y[i], z[i]};
+            T radius = T(2) * h[i];
+            tree.forEachNeighbor(pos, radius, [&](Index j, T) {
+                if (j != Index(i)) local.push_back(j);
+            });
+            nl.set(i, local);
+        }
+    }
+}
+
+/// Fill neighbor lists only for the \p active particles ("individual tree
+/// walk", ChaNGa-style): the inactive entries keep their previous lists.
+template<class T>
+void findNeighborsIndividual(const Octree<T>& tree, std::type_identity_t<std::span<const T>> x,
+                             std::type_identity_t<std::span<const T>> y, std::type_identity_t<std::span<const T>> z,
+                             std::type_identity_t<std::span<const T>> h, std::type_identity_t<std::span<const std::size_t>> active,
+                             NeighborList<T>& nl)
+{
+    using Index = typename Octree<T>::Index;
+#pragma omp parallel
+    {
+        std::vector<Index> local;
+        local.reserve(nl.ngmax());
+#pragma omp for schedule(dynamic, 64)
+        for (std::size_t a = 0; a < active.size(); ++a)
+        {
+            std::size_t i = active[a];
+            local.clear();
+            Vec3<T> pos{x[i], y[i], z[i]};
+            T radius = T(2) * h[i];
+            tree.forEachNeighbor(pos, radius, [&](Index j, T) {
+                if (j != Index(i)) local.push_back(j);
+            });
+            nl.set(i, local);
+        }
+    }
+}
+
+/// Brute-force O(N^2) reference used by tests and the neighbor ablation.
+template<class T>
+void findNeighborsBruteForce(std::type_identity_t<std::span<const T>> x, std::type_identity_t<std::span<const T>> y,
+                             std::type_identity_t<std::span<const T>> z, std::type_identity_t<std::span<const T>> h, const Box<T>& box,
+                             NeighborList<T>& nl)
+{
+    using Index = typename Octree<T>::Index;
+    std::size_t n = x.size();
+#pragma omp parallel
+    {
+        std::vector<Index> local;
+#pragma omp for schedule(static)
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            local.clear();
+            Vec3<T> pi{x[i], y[i], z[i]};
+            T r2 = T(4) * h[i] * h[i];
+            for (std::size_t j = 0; j < n; ++j)
+            {
+                if (j == i) continue;
+                Vec3<T> d = box.delta(pi, Vec3<T>{x[j], y[j], z[j]});
+                if (norm2(d) < r2) local.push_back(Index(j));
+            }
+            nl.set(i, local);
+        }
+    }
+}
+
+} // namespace sphexa

@@ -1,0 +1,367 @@
+#pragma once
+
+/// \file octree.hpp
+/// SFC-ordered octree over the particle set.
+///
+/// Step 1 of the paper's Algorithm 1 ("Build tree"). Particles are sorted by
+/// a space-filling-curve key (Morton or Hilbert); octree nodes are key
+/// ranges, so every node's particles are contiguous in the sorted order and
+/// every subtree is a contiguous slice — the property both the neighbor walk
+/// (step 2) and the SFC domain decomposition rely on.
+///
+/// The build is sequential by default, mirroring the SPHYNX v1.3.1 behaviour
+/// the paper's Extrae analysis exposed (serial phase A with idle threads,
+/// Fig. 4); a task-parallel build is available as the "improved" variant and
+/// is compared in bench_neighbors.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "domain/box.hpp"
+#include "tree/hilbert.hpp"
+#include "tree/morton.hpp"
+
+namespace sphexa {
+
+template<class T>
+class Octree
+{
+public:
+    using KeyType = std::uint64_t;
+    using Index   = std::uint32_t;
+
+    static constexpr int maxDepth = sfcBitsPerDim; // 21
+
+    struct Node
+    {
+        Vec3<T> lo{};        ///< tight AABB of contained particles
+        Vec3<T> hi{};
+        Index first{0};      ///< first particle (in SFC order) in this node
+        Index count{0};      ///< number of particles in this node
+        Index child{0};      ///< index of first child node; 0 for leaves
+        std::uint8_t nChildren{0};
+        std::uint8_t depth{0};
+    };
+
+    struct BuildParams
+    {
+        unsigned leafSize = 64;             ///< max particles per leaf
+        SfcCurve curve    = SfcCurve::Morton;
+        bool     parallelBuild = false;     ///< task-parallel subtree builds
+    };
+
+    Octree() = default;
+
+    /// Build the tree over the given positions. Positions are NOT modified;
+    /// the SFC permutation is available via order().
+    void build(std::span<const T> x, std::span<const T> y, std::span<const T> z,
+               const Box<T>& box, const BuildParams& params = {})
+    {
+        n_      = x.size();
+        box_    = box;
+        params_ = params;
+        x_ = x; y_ = y; z_ = z;
+
+        keys_.resize(n_);
+        order_.resize(n_);
+
+#pragma omp parallel for schedule(static) if (n_ > 4096)
+        for (std::size_t i = 0; i < n_; ++i)
+        {
+            keys_[i] = sfcKey(params.curve, Vec3<T>{x[i], y[i], z[i]}, box);
+        }
+
+        std::iota(order_.begin(), order_.end(), Index(0));
+        std::sort(order_.begin(), order_.end(),
+                  [&](Index a, Index b) { return keys_[a] < keys_[b]; });
+
+        sortedKeys_.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i)
+            sortedKeys_[i] = keys_[order_[i]];
+
+        nodes_.clear();
+        nodes_.reserve(2 * n_ / std::max(1u, params.leafSize) + 64);
+        nodes_.push_back(Node{{}, {}, 0, Index(n_), 0, 0, 0});
+        if (n_ > params.leafSize) buildChildren(0, 0, Index(n_), 0, 0);
+
+        computeAabbs();
+    }
+
+    std::size_t particleCount() const { return n_; }
+    std::size_t nodeCount() const { return nodes_.size(); }
+    const Node& node(Index i) const { return nodes_[i]; }
+    const std::vector<Node>& nodes() const { return nodes_; }
+
+    /// Particle indices in SFC order: order()[k] is the original index of the
+    /// k-th particle along the curve.
+    const std::vector<Index>& order() const { return order_; }
+
+    /// SFC key of original particle i.
+    KeyType key(Index i) const { return keys_[i]; }
+    const std::vector<KeyType>& sortedKeys() const { return sortedKeys_; }
+
+    const Box<T>& box() const { return box_; }
+
+    std::size_t leafCount() const
+    {
+        std::size_t c = 0;
+        for (const auto& nd : nodes_)
+            if (nd.nChildren == 0) ++c;
+        return c;
+    }
+
+    int depth() const
+    {
+        std::uint8_t d = 0;
+        for (const auto& nd : nodes_)
+            d = std::max(d, nd.depth);
+        return d;
+    }
+
+    /// Visit all particles within \p radius of \p pos (minimum-image in
+    /// periodic boxes). Calls f(originalParticleIndex, distanceSquared).
+    template<class F>
+    void forEachNeighbor(const Vec3<T>& pos, T radius, F&& f) const
+    {
+        if (nodes_.empty() || n_ == 0) return;
+        T r2 = radius * radius;
+        Index stack[128];
+        int   sp   = 0;
+        stack[sp++] = 0;
+        while (sp > 0)
+        {
+            const Node& nd = nodes_[stack[--sp]];
+            if (distanceSqToBox(pos, nd.lo, nd.hi, box_) > r2) continue;
+            if (nd.nChildren == 0)
+            {
+                for (Index k = nd.first; k < nd.first + nd.count; ++k)
+                {
+                    Index j = order_[k];
+                    Vec3<T> d = box_.delta(pos, Vec3<T>{x_[j], y_[j], z_[j]});
+                    T dist2 = norm2(d);
+                    if (dist2 < r2) f(j, dist2);
+                }
+            }
+            else
+            {
+                for (int c = 0; c < nd.nChildren; ++c)
+                {
+                    assert(sp < 127);
+                    stack[sp++] = nd.child + Index(c);
+                }
+            }
+        }
+    }
+
+private:
+    void buildChildren(Index nodeIdx, Index first, Index last, KeyType keyBase, int depth)
+    {
+        // Key width of one child octant at this depth.
+        KeyType childWidth = KeyType(1) << (3 * (maxDepth - depth - 1));
+
+        Index childStart = Index(nodes_.size());
+        struct Pending
+        {
+            Index   node;
+            Index   first, last;
+            KeyType base;
+        };
+        Pending pending[8];
+        int nPending = 0;
+
+        Index segFirst = first;
+        for (int c = 0; c < 8; ++c)
+        {
+            KeyType upper = keyBase + KeyType(c + 1) * childWidth;
+            Index segLast;
+            if (c == 7) { segLast = last; }
+            else
+            {
+                auto it = std::lower_bound(sortedKeys_.begin() + segFirst,
+                                           sortedKeys_.begin() + last, upper);
+                segLast = Index(it - sortedKeys_.begin());
+            }
+            if (segLast > segFirst)
+            {
+                Node child;
+                child.first = segFirst;
+                child.count = segLast - segFirst;
+                child.depth = std::uint8_t(depth + 1);
+                Index childIdx = Index(nodes_.size());
+                nodes_.push_back(child);
+                if (child.count > params_.leafSize && depth + 1 < maxDepth)
+                {
+                    pending[nPending++] = {childIdx, segFirst, segLast,
+                                           keyBase + KeyType(c) * childWidth};
+                }
+            }
+            segFirst = segLast;
+        }
+
+        nodes_[nodeIdx].child     = childStart;
+        nodes_[nodeIdx].nChildren = std::uint8_t(nodes_.size() - childStart);
+
+        if (params_.parallelBuild && depth < 3)
+        {
+            // Shallow levels: spawn tasks; nodes_ is pre-sized per child via
+            // sequential splitting above, so only subtree vectors grow.
+            // Recursion below depth 3 is sequential inside each task.
+            // NOTE: nodes_ reallocation is not thread-safe; tasks therefore
+            // build into private subtrees that are spliced afterwards.
+            std::vector<std::vector<Node>> subtrees(nPending);
+#pragma omp parallel for schedule(dynamic, 1)
+            for (int i = 0; i < nPending; ++i)
+            {
+                subtrees[i] = buildSubtree(pending[i].first, pending[i].last,
+                                           pending[i].base, depth + 1);
+            }
+            for (int i = 0; i < nPending; ++i)
+            {
+                spliceSubtree(pending[i].node, subtrees[i]);
+            }
+        }
+        else
+        {
+            for (int i = 0; i < nPending; ++i)
+            {
+                buildChildren(pending[i].node, pending[i].first, pending[i].last,
+                              pending[i].base, depth + 1);
+            }
+        }
+    }
+
+    /// Build a detached subtree (children of the given range) with node
+    /// indices relative to the subtree vector; index 0 is a placeholder root.
+    std::vector<Node> buildSubtree(Index first, Index last, KeyType keyBase, int depth)
+    {
+        std::vector<Node> out;
+        out.push_back(Node{{}, {}, first, last - first, 0, 0, std::uint8_t(depth)});
+        buildSubtreeRec(out, 0, first, last, keyBase, depth);
+        return out;
+    }
+
+    void buildSubtreeRec(std::vector<Node>& out, Index nodeIdx, Index first, Index last,
+                         KeyType keyBase, int depth)
+    {
+        KeyType childWidth = KeyType(1) << (3 * (maxDepth - depth - 1));
+        Index childStart = Index(out.size());
+        struct Pending
+        {
+            Index   node;
+            Index   first, last;
+            KeyType base;
+        };
+        Pending pending[8];
+        int nPending = 0;
+
+        Index segFirst = first;
+        for (int c = 0; c < 8; ++c)
+        {
+            KeyType upper = keyBase + KeyType(c + 1) * childWidth;
+            Index segLast;
+            if (c == 7) { segLast = last; }
+            else
+            {
+                auto it = std::lower_bound(sortedKeys_.begin() + segFirst,
+                                           sortedKeys_.begin() + last, upper);
+                segLast = Index(it - sortedKeys_.begin());
+            }
+            if (segLast > segFirst)
+            {
+                Node child;
+                child.first = segFirst;
+                child.count = segLast - segFirst;
+                child.depth = std::uint8_t(depth + 1);
+                Index childIdx = Index(out.size());
+                out.push_back(child);
+                if (child.count > params_.leafSize && depth + 1 < maxDepth)
+                {
+                    pending[nPending++] = {childIdx, segFirst, segLast,
+                                           keyBase + KeyType(c) * childWidth};
+                }
+            }
+            segFirst = segLast;
+        }
+        out[nodeIdx].child     = childStart;
+        out[nodeIdx].nChildren = std::uint8_t(out.size() - childStart);
+        for (int i = 0; i < nPending; ++i)
+        {
+            buildSubtreeRec(out, pending[i].node, pending[i].first, pending[i].last,
+                            pending[i].base, depth + 1);
+        }
+    }
+
+    /// Splice a detached subtree under \p attachAt: subtree node 0 replaces
+    /// the attach node; remaining nodes are appended with shifted indices.
+    void spliceSubtree(Index attachAt, const std::vector<Node>& sub)
+    {
+        if (sub.size() <= 1) return;
+        Index base = Index(nodes_.size());
+        // Subtree root's children start at sub index 1 -> global base.
+        Node root = sub[0];
+        nodes_[attachAt].child     = base + root.child - 1;
+        nodes_[attachAt].nChildren = root.nChildren;
+        for (std::size_t i = 1; i < sub.size(); ++i)
+        {
+            Node nd = sub[i];
+            if (nd.nChildren > 0) nd.child = base + nd.child - 1;
+            nodes_.push_back(nd);
+        }
+    }
+
+    void computeAabbs()
+    {
+        // Children are always stored after their parent, so a reverse sweep
+        // sees children before parents.
+        for (std::size_t i = nodes_.size(); i-- > 0;)
+        {
+            Node& nd = nodes_[i];
+            if (nd.nChildren == 0)
+            {
+                Vec3<T> lo{std::numeric_limits<T>::max(), std::numeric_limits<T>::max(),
+                           std::numeric_limits<T>::max()};
+                Vec3<T> hi{std::numeric_limits<T>::lowest(), std::numeric_limits<T>::lowest(),
+                           std::numeric_limits<T>::lowest()};
+                for (Index k = nd.first; k < nd.first + nd.count; ++k)
+                {
+                    Index j = order_[k];
+                    Vec3<T> p{x_[j], y_[j], z_[j]};
+                    lo = min(lo, p);
+                    hi = max(hi, p);
+                }
+                if (nd.count == 0) { lo = hi = box_.center(); }
+                nd.lo = lo;
+                nd.hi = hi;
+            }
+            else
+            {
+                Vec3<T> lo = nodes_[nd.child].lo;
+                Vec3<T> hi = nodes_[nd.child].hi;
+                for (int c = 1; c < nd.nChildren; ++c)
+                {
+                    lo = min(lo, nodes_[nd.child + c].lo);
+                    hi = max(hi, nodes_[nd.child + c].hi);
+                }
+                nd.lo = lo;
+                nd.hi = hi;
+            }
+        }
+    }
+
+    std::size_t n_{0};
+    Box<T>      box_{};
+    BuildParams params_{};
+    std::span<const T> x_, y_, z_;
+
+    std::vector<KeyType> keys_;       ///< key per original particle index
+    std::vector<KeyType> sortedKeys_; ///< keys in SFC order
+    std::vector<Index>   order_;      ///< SFC permutation
+    std::vector<Node>    nodes_;
+};
+
+} // namespace sphexa

@@ -1,0 +1,409 @@
+/// Domain decomposition tests: ORB and SFC partition invariants, halo
+/// completeness, and the crucial equivalence property — a domain-decomposed
+/// run produces the same physics as the shared-memory driver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/simulation.hpp"
+#include "domain/distributed.hpp"
+#include "domain/orb.hpp"
+#include "domain/sfc_partition.hpp"
+#include "ic/evrard.hpp"
+#include "ic/square_patch.hpp"
+#include "math/rng.hpp"
+
+using namespace sphexa;
+
+namespace {
+
+struct Cloud
+{
+    std::vector<double> x, y, z, w;
+};
+
+Cloud randomCloud(std::size_t n, std::uint64_t seed, bool skewed = false)
+{
+    Cloud c;
+    Xoshiro256pp rng(seed);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        if (skewed)
+        {
+            // clustered distribution (half the points in one corner octant)
+            if (i % 2)
+            {
+                c.x.push_back(rng.uniform(0.0, 0.25));
+                c.y.push_back(rng.uniform(0.0, 0.25));
+                c.z.push_back(rng.uniform(0.0, 0.25));
+            }
+            else
+            {
+                c.x.push_back(rng.uniform());
+                c.y.push_back(rng.uniform());
+                c.z.push_back(rng.uniform());
+            }
+        }
+        else
+        {
+            c.x.push_back(rng.uniform());
+            c.y.push_back(rng.uniform());
+            c.z.push_back(rng.uniform());
+        }
+        c.w.push_back(1.0);
+    }
+    return c;
+}
+
+} // namespace
+
+// --- ORB ------------------------------------------------------------------------
+
+class OrbSweep : public ::testing::TestWithParam<int> // rank count
+{
+};
+
+TEST_P(OrbSweep, BalancedPartition)
+{
+    int P = GetParam();
+    auto c = randomCloud(8000, 11);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    auto part = orbDecompose<double>(c.x, c.y, c.z, c.w, P, box);
+
+    ASSERT_EQ(int(part.rankBoxes.size()), P);
+    ASSERT_EQ(part.assignment.size(), c.x.size());
+
+    // each rank's weight within 15% of the mean
+    double mean = 8000.0 / P;
+    for (int r = 0; r < P; ++r)
+    {
+        EXPECT_NEAR(part.rankWeights[r], mean, 0.15 * mean) << "rank " << r;
+    }
+}
+
+TEST_P(OrbSweep, ParticlesInsideTheirBoxes)
+{
+    int P = GetParam();
+    auto c = randomCloud(4000, 13);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    auto part = orbDecompose<double>(c.x, c.y, c.z, c.w, P, box);
+    for (std::size_t i = 0; i < c.x.size(); ++i)
+    {
+        const auto& b = part.rankBoxes[part.assignment[i]];
+        EXPECT_GE(c.x[i], b.lo.x - 1e-12);
+        EXPECT_LE(c.x[i], b.hi.x + 1e-12);
+        EXPECT_GE(c.y[i], b.lo.y - 1e-12);
+        EXPECT_LE(c.y[i], b.hi.y + 1e-12);
+        EXPECT_GE(c.z[i], b.lo.z - 1e-12);
+        EXPECT_LE(c.z[i], b.hi.z + 1e-12);
+    }
+}
+
+TEST_P(OrbSweep, BoxesTileTheDomain)
+{
+    int P = GetParam();
+    auto c = randomCloud(4000, 17);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    auto part = orbDecompose<double>(c.x, c.y, c.z, c.w, P, box);
+    double vol = 0;
+    for (const auto& b : part.rankBoxes)
+        vol += b.volume();
+    EXPECT_NEAR(vol, box.volume(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, OrbSweep, ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Orb, SkewedDistributionStillBalanced)
+{
+    auto c = randomCloud(8000, 19, true);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    auto part = orbDecompose<double>(c.x, c.y, c.z, c.w, 8, box);
+    double mean = 1000;
+    for (int r = 0; r < 8; ++r)
+    {
+        EXPECT_NEAR(part.rankWeights[r], mean, 0.2 * mean);
+    }
+}
+
+TEST(Orb, RespectsWeights)
+{
+    // heavy particles on the left half: the split adapts
+    std::size_t n = 1000;
+    Cloud c = randomCloud(n, 23);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        c.w[i] = c.x[i] < 0.5 ? 10.0 : 1.0;
+    }
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    auto part = orbDecompose<double>(c.x, c.y, c.z, c.w, 2, box);
+    double w0 = part.rankWeights[0], w1 = part.rankWeights[1];
+    double total = w0 + w1;
+    EXPECT_NEAR(w0 / total, 0.5, 0.05);
+    // the cut plane must sit inside the heavy half (x < 0.5)
+    EXPECT_LT(part.rankBoxes[0].hi.x, 0.5);
+}
+
+// --- SFC partition ----------------------------------------------------------------
+
+class SfcSweep : public ::testing::TestWithParam<std::tuple<int, SfcCurve>>
+{
+};
+
+TEST_P(SfcSweep, BalancedAndContiguous)
+{
+    auto [P, curve] = GetParam();
+    auto c = randomCloud(8000, 29);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    auto part = sfcPartition<double>(c.x, c.y, c.z, c.w, P, box, curve);
+
+    double mean = 8000.0 / P;
+    for (int r = 0; r < P; ++r)
+    {
+        EXPECT_NEAR(part.rankWeights[r], mean, 0.15 * mean) << "rank " << r;
+    }
+
+    // contiguity along the curve: sort particles by key; rank must be
+    // non-decreasing
+    std::vector<std::uint64_t> keys(c.x.size());
+    for (std::size_t i = 0; i < c.x.size(); ++i)
+    {
+        keys[i] = sfcKey(curve, Vec3<double>{c.x[i], c.y[i], c.z[i]}, box);
+    }
+    std::vector<std::size_t> order(c.x.size());
+    std::iota(order.begin(), order.end(), std::size_t(0));
+    std::sort(order.begin(), order.end(),
+              [&](auto a, auto b) { return keys[a] < keys[b]; });
+    int prev = 0;
+    for (auto i : order)
+    {
+        EXPECT_GE(part.assignment[i], prev);
+        prev = part.assignment[i];
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksAndCurves, SfcSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 8, 16),
+                                            ::testing::Values(SfcCurve::Morton,
+                                                              SfcCurve::Hilbert)));
+
+// --- halo exchange -----------------------------------------------------------------
+
+TEST(Halo, GhostsCoverAllRemoteNeighbors)
+{
+    // set up a small uniform cloud split over 4 ranks, then verify: for
+    // every local particle, all its true neighbors (from a global brute
+    // force) are present locally (as locals or ghosts).
+    std::size_t n = 3000;
+    auto c = randomCloud(n, 31);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    double h = 0.05;
+
+    ParticleSetD global(n);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        global.x[i] = c.x[i];
+        global.y[i] = c.y[i];
+        global.z[i] = c.z[i];
+        global.h[i] = h;
+        global.id[i] = i;
+    }
+
+    int P = 4;
+    auto part = sfcPartition<double>(c.x, c.y, c.z, c.w, P, box);
+    std::vector<ParticleSetD> locals(P);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        locals[part.assignment[i]].appendFrom(global, i);
+    }
+
+    simmpi::Communicator comm(P);
+    std::vector<HaloMap> maps(P);
+    exchangeHalos(comm, locals, maps, box, 2 * h);
+
+    // global brute-force neighbor map by id
+    for (int r = 0; r < P; ++r)
+    {
+        std::set<std::uint64_t> present(locals[r].id.begin(), locals[r].id.end());
+        std::size_t nLoc = locals[r].size() - maps[r].ghostCount();
+        for (std::size_t i = 0; i < nLoc; ++i)
+        {
+            Vec3<double> pi{locals[r].x[i], locals[r].y[i], locals[r].z[i]};
+            for (std::size_t j = 0; j < n; ++j)
+            {
+                Vec3<double> d = box.delta(pi, {global.x[j], global.y[j], global.z[j]});
+                if (norm2(d) < 4 * h * h)
+                {
+                    ASSERT_TRUE(present.count(j))
+                        << "rank " << r << " missing neighbor " << j;
+                }
+            }
+        }
+    }
+}
+
+TEST(Halo, RefreshUpdatesGhostValues)
+{
+    std::size_t n = 500;
+    auto c = randomCloud(n, 37);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    ParticleSetD global(n);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        global.x[i] = c.x[i];
+        global.y[i] = c.y[i];
+        global.z[i] = c.z[i];
+        global.h[i] = 0.08;
+        global.id[i] = i;
+        global.rho[i] = 0; // stale
+    }
+    int P = 3;
+    auto part = sfcPartition<double>(c.x, c.y, c.z, c.w, P, box);
+    std::vector<ParticleSetD> locals(P);
+    for (std::size_t i = 0; i < n; ++i)
+        locals[part.assignment[i]].appendFrom(global, i);
+    std::vector<std::size_t> nLocal(P);
+    for (int r = 0; r < P; ++r)
+        nLocal[r] = locals[r].size();
+
+    simmpi::Communicator comm(P);
+    std::vector<HaloMap> maps(P);
+    exchangeHalos(comm, locals, maps, box, 0.16);
+
+    // owners compute rho = id + 1 for their locals
+    for (int r = 0; r < P; ++r)
+    {
+        for (std::size_t i = 0; i < nLocal[r]; ++i)
+            locals[r].rho[i] = double(locals[r].id[i]) + 1.0;
+    }
+    refreshHaloFields<double>(comm, locals, maps, {"rho"}, nLocal);
+
+    // every ghost now carries its owner's value
+    for (int r = 0; r < P; ++r)
+    {
+        for (std::size_t g = 0; g < maps[r].ghostCount(); ++g)
+        {
+            std::size_t idx = nLocal[r] + g;
+            EXPECT_DOUBLE_EQ(locals[r].rho[idx], double(locals[r].id[idx]) + 1.0);
+        }
+    }
+}
+
+// --- distributed vs shared-memory equivalence ---------------------------------------
+
+class DistributedEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, DecompositionMethod>>
+{
+};
+
+TEST_P(DistributedEquivalence, MatchesSharedMemoryDriver)
+{
+    auto [P, method] = GetParam();
+
+    ParticleSetD ps;
+    SquarePatchConfig<double> pc;
+    pc.nx = pc.ny = 12;
+    pc.nz = 6;
+    auto setup = makeSquarePatch(ps, pc);
+
+    SimulationConfig<double> cfg;
+    cfg.targetNeighbors = 50;
+    cfg.neighborTolerance = 10;
+    cfg.decomposition = method;
+    cfg.symmetrizeNeighbors = false; // the distributed driver can't (halo pairs)
+
+    Simulation<double> shared(ps, setup.box, Eos<double>(setup.eos), cfg);
+    DistributedSimulation<double> dist(ps, setup.box, Eos<double>(setup.eos), cfg, P);
+
+    shared.computeForces();
+    for (int s = 0; s < 3; ++s)
+    {
+        shared.advance();
+        dist.advance();
+    }
+
+    auto g = dist.gather();
+    const auto& ref = shared.particles();
+    ASSERT_EQ(g.size(), ref.size());
+    double maxDx = 0, maxDv = 0;
+    for (std::size_t i = 0; i < g.size(); ++i)
+    {
+        ASSERT_EQ(g.id[i], ref.id[i]);
+        maxDx = std::max(maxDx, std::abs(g.x[i] - ref.x[i]) + std::abs(g.y[i] - ref.y[i]) +
+                                    std::abs(g.z[i] - ref.z[i]));
+        maxDv = std::max(maxDv, std::abs(g.vx[i] - ref.vx[i]) +
+                                    std::abs(g.vy[i] - ref.vy[i]) +
+                                    std::abs(g.vz[i] - ref.vz[i]));
+    }
+    // same algorithm, different summation order: tight but not bitwise
+    EXPECT_LT(maxDx, 1e-9);
+    EXPECT_LT(maxDv, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndMethods, DistributedEquivalence,
+    ::testing::Combine(::testing::Values(2, 4),
+                       ::testing::Values(DecompositionMethod::SpaceFillingCurve,
+                                         DecompositionMethod::OrthogonalRecursiveBisection,
+                                         DecompositionMethod::Slab1D)));
+
+TEST(Distributed, ConservationHolds)
+{
+    ParticleSetD ps;
+    SquarePatchConfig<double> pc;
+    pc.nx = pc.ny = 12;
+    pc.nz = 6;
+    auto setup = makeSquarePatch(ps, pc);
+    SimulationConfig<double> cfg;
+    cfg.targetNeighbors = 50;
+    cfg.neighborTolerance = 10;
+
+    DistributedSimulation<double> dist(ps, setup.box, Eos<double>(setup.eos), cfg, 4);
+    auto c0 = dist.conservation();
+    for (int s = 0; s < 5; ++s)
+        dist.advance();
+    auto c1 = dist.conservation();
+
+    EXPECT_NEAR(c1.mass, c0.mass, 1e-12);
+    double scale = std::abs(c0.angularMomentum.z);
+    EXPECT_LT(norm(c1.momentum - c0.momentum), 1e-4 * scale);
+}
+
+TEST(Distributed, ImbalanceBounded)
+{
+    ParticleSetD ps;
+    SquarePatchConfig<double> pc;
+    pc.nx = pc.ny = 12;
+    pc.nz = 6;
+    auto setup = makeSquarePatch(ps, pc);
+    SimulationConfig<double> cfg;
+    cfg.targetNeighbors = 50;
+
+    DistributedSimulation<double> dist(ps, setup.box, Eos<double>(setup.eos), cfg, 4);
+    EXPECT_LT(dist.particleImbalance(), 1.25);
+}
+
+TEST(Distributed, TrafficIsRecorded)
+{
+    ParticleSetD ps;
+    SquarePatchConfig<double> pc;
+    pc.nx = pc.ny = 10;
+    pc.nz = 4;
+    auto setup = makeSquarePatch(ps, pc);
+    SimulationConfig<double> cfg;
+    cfg.targetNeighbors = 40;
+
+    DistributedSimulation<double> dist(ps, setup.box, Eos<double>(setup.eos), cfg, 3);
+    auto rep = dist.advance();
+    for (const auto& r : rep.ranks)
+    {
+        EXPECT_GT(r.traffic.bytesSent, 0u);
+        EXPECT_GT(r.traffic.messagesSent, 0u);
+    }
+    // ghosts exist at interior boundaries
+    std::size_t ghosts = 0;
+    for (const auto& r : rep.ranks)
+        ghosts += r.ghostParticles;
+    EXPECT_GT(ghosts, 0u);
+}

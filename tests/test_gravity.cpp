@@ -1,0 +1,413 @@
+/// Gravity solver tests: multipole moments and field evaluation against
+/// analytic results, Barnes-Hut accuracy versus direct summation as a
+/// function of opening angle and expansion order, Newton's third law, and
+/// potential-energy consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "sph/particles.hpp"
+#include "tree/gravity.hpp"
+#include "tree/multipole.hpp"
+#include "tree/octree.hpp"
+
+using namespace sphexa;
+
+namespace {
+
+/// Random Plummer-like cluster in a unit box around the center.
+ParticleSet<double> randomCluster(std::size_t n, std::uint64_t seed)
+{
+    ParticleSet<double> ps(n);
+    Xoshiro256pp rng(seed);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        ps.x[i] = 0.5 + 0.3 * rng.normal() * 0.2;
+        ps.y[i] = 0.5 + 0.3 * rng.normal() * 0.2;
+        ps.z[i] = 0.5 + 0.3 * rng.normal() * 0.2;
+        ps.m[i] = 1.0 / double(n) * (0.5 + rng.uniform());
+        ps.id[i] = i;
+    }
+    return ps;
+}
+
+/// RMS relative acceleration error of tree vs direct.
+double rmsError(ParticleSet<double>& ps, const GravityParams<double>& params)
+{
+    std::size_t n = ps.size();
+    ParticleSet<double> ref = ps;
+    double refPot = GravitySolver<double>::directSum(ref, params);
+    (void)refPot;
+
+    Box<double> box = computeBoundingBox<double>(ps.x, ps.y, ps.z);
+    Octree<double> tree;
+    Octree<double>::BuildParams bp;
+    bp.leafSize = 16;
+    tree.build(ps.x, ps.y, ps.z, box, bp);
+
+    GravitySolver<double> solver;
+    solver.prepare(tree, ps, params);
+    std::fill(ps.ax.begin(), ps.ax.end(), 0.0);
+    std::fill(ps.ay.begin(), ps.ay.end(), 0.0);
+    std::fill(ps.az.begin(), ps.az.end(), 0.0);
+    solver.accumulate(ps);
+
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        double dx = ps.ax[i] - ref.ax[i];
+        double dy = ps.ay[i] - ref.ay[i];
+        double dz = ps.az[i] - ref.az[i];
+        num += dx * dx + dy * dy + dz * dz;
+        den += ref.ax[i] * ref.ax[i] + ref.ay[i] * ref.ay[i] + ref.az[i] * ref.az[i];
+    }
+    return std::sqrt(num / den);
+}
+
+} // namespace
+
+// --- multipole moments -------------------------------------------------------
+
+TEST(Multipole, PointMassHasOnlyMonopole)
+{
+    std::vector<double> x{1.0}, y{2.0}, z{3.0}, m{5.0};
+    std::vector<std::uint32_t> idx{0};
+    auto mp = computeMultipole<double>(x, y, z, m, idx, MultipoleOrder::Hexadecapole);
+    EXPECT_DOUBLE_EQ(mp.mass, 5.0);
+    EXPECT_DOUBLE_EQ(mp.com.x, 1.0);
+    for (double v : mp.q)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    for (double v : mp.o)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    for (double v : mp.hx)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Multipole, TwoBodyQuadrupoleKnownValue)
+{
+    // two unit masses at +-d on the x-axis: Q_xx = 2 m d^2, others 0.
+    double d = 0.25;
+    std::vector<double> x{-d, d}, y{0, 0}, z{0, 0}, m{1, 1};
+    std::vector<std::uint32_t> idx{0, 1};
+    auto mp = computeMultipole<double>(x, y, z, m, idx, MultipoleOrder::Quadrupole);
+    EXPECT_DOUBLE_EQ(mp.mass, 2.0);
+    EXPECT_NEAR(mp.com.x, 0.0, 1e-15);
+    EXPECT_NEAR(mp.q2(0, 0), 2 * d * d, 1e-15);
+    EXPECT_NEAR(mp.q2(1, 1), 0.0, 1e-15);
+    EXPECT_NEAR(mp.q2(0, 1), 0.0, 1e-15);
+}
+
+TEST(Multipole, FieldMatchesDirectForDistantCluster)
+{
+    // multipole field of a small cluster evaluated far away converges to the
+    // exact field as order increases.
+    Xoshiro256pp rng(5);
+    std::size_t n = 50;
+    std::vector<double> x, y, z, m;
+    std::vector<std::uint32_t> idx;
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        x.push_back(rng.uniform(-0.1, 0.1));
+        y.push_back(rng.uniform(-0.1, 0.1));
+        z.push_back(rng.uniform(-0.1, 0.1));
+        m.push_back(rng.uniform(0.5, 1.5));
+        idx.push_back(std::uint32_t(i));
+    }
+
+    Vec3<double> target{1.5, 0.3, -0.4};
+    // exact
+    Vec3<double> aExact{};
+    double potExact = 0;
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        Vec3<double> dvec = target - Vec3<double>{x[i], y[i], z[i]};
+        double r = norm(dvec);
+        aExact -= m[i] / (r * r * r) * dvec;
+        potExact -= m[i] / r;
+    }
+
+    double prevErr = 1e30;
+    for (auto order : {MultipoleOrder::Monopole, MultipoleOrder::Quadrupole,
+                       MultipoleOrder::Octupole, MultipoleOrder::Hexadecapole})
+    {
+        auto mp = computeMultipole<double>(x, y, z, m, idx, order);
+        Vec3<double> acc{};
+        double pot = 0;
+        evaluateMultipole(mp, target - mp.com, order, acc, pot);
+        double err = norm(acc - aExact) / norm(aExact);
+        double potErr = std::abs(pot - potExact) / std::abs(potExact);
+        EXPECT_LT(err, prevErr * 1.001) << multipoleOrderName(order);
+        EXPECT_LT(potErr, 0.01);
+        prevErr = err;
+    }
+    // hexadecapole should be very accurate at distance ~15x cluster size
+    EXPECT_LT(prevErr, 1e-6);
+}
+
+TEST(Multipole, SymmetricIndexHelpers)
+{
+    using namespace sphexa::detail;
+    // all rank-2 indices valid and symmetric
+    std::set<int> s2;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+        {
+            EXPECT_EQ(sym2Index(i, j), sym2Index(j, i));
+            s2.insert(sym2Index(i, j));
+        }
+    EXPECT_EQ(s2.size(), 6u);
+
+    std::set<int> s3;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            for (int k = 0; k < 3; ++k)
+            {
+                int v = sym3Index(i, j, k);
+                EXPECT_EQ(v, sym3Index(k, j, i));
+                EXPECT_EQ(v, sym3Index(j, i, k));
+                s3.insert(v);
+            }
+    EXPECT_EQ(s3.size(), 10u);
+
+    std::set<int> s4;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            for (int k = 0; k < 3; ++k)
+                for (int l = 0; l < 3; ++l)
+                {
+                    int v = sym4Index(i, j, k, l);
+                    EXPECT_EQ(v, sym4Index(l, k, j, i));
+                    s4.insert(v);
+                }
+    EXPECT_EQ(s4.size(), 15u);
+}
+
+TEST(Multipole, DerivativeTensorsAreSymmetric)
+{
+    Vec3<double> s{0.7, -0.3, 0.5};
+    double r2 = norm2(s);
+    double inv9 = std::pow(r2, -4.5);
+    double inv11 = std::pow(r2, -5.5);
+    // D4 symmetric under index permutations
+    EXPECT_NEAR(d4Tensor(s, r2, inv9, 0, 1, 2, 1), d4Tensor(s, r2, inv9, 1, 2, 1, 0), 1e-12);
+    EXPECT_NEAR(d4Tensor(s, r2, inv9, 0, 0, 1, 2), d4Tensor(s, r2, inv9, 2, 1, 0, 0), 1e-12);
+    // D5 symmetric
+    EXPECT_NEAR(d5Tensor(s, r2, inv11, 0, 1, 2, 1, 0), d5Tensor(s, r2, inv11, 2, 1, 1, 0, 0),
+                1e-12);
+}
+
+TEST(Multipole, D4IsGradientOfD3ViaFiniteDifference)
+{
+    // D4_ijkl = d/ds_i D3_jkl: check numerically using the octupole part of
+    // evaluateMultipole indirectly — here directly on the tensor.
+    Vec3<double> s{0.9, 0.2, -0.6};
+    double eps = 1e-6;
+
+    auto d3 = [](Vec3<double> sv, int j, int k, int l) {
+        double r2 = norm2(sv);
+        double r = std::sqrt(r2);
+        double inv7 = 1.0 / (r2 * r2 * r2 * r);
+        double t = 15 * sv[j] * sv[k] * sv[l];
+        double dterm = 0;
+        if (k == l) dterm += sv[j];
+        if (j == l) dterm += sv[k];
+        if (j == k) dterm += sv[l];
+        return -(t - 3 * r2 * dterm) * inv7;
+    };
+
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            for (int k = 0; k < 3; ++k)
+                for (int l = 0; l < 3; ++l)
+                {
+                    Vec3<double> sp = s, sm = s;
+                    sp[i] += eps;
+                    sm[i] -= eps;
+                    double fd = (d3(sp, j, k, l) - d3(sm, j, k, l)) / (2 * eps);
+                    double r2 = norm2(s);
+                    double inv9 = std::pow(r2, -4.5);
+                    EXPECT_NEAR(d4Tensor(s, r2, inv9, i, j, k, l), fd,
+                                1e-4 * std::max(1.0, std::abs(fd)));
+                }
+}
+
+TEST(Multipole, D5IsGradientOfD4ViaFiniteDifference)
+{
+    Vec3<double> s{0.8, -0.5, 0.4};
+    double eps = 1e-6;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            for (int k = 0; k < 3; ++k)
+            {
+                // spot check a subset of (l, m)
+                int l = (i + j) % 3, m = (j + k) % 3;
+                Vec3<double> sp = s, sm = s;
+                sp[i] += eps;
+                sm[i] -= eps;
+                auto d4at = [&](const Vec3<double>& sv) {
+                    double r2 = norm2(sv);
+                    return d4Tensor(sv, r2, std::pow(r2, -4.5), j, k, l, m);
+                };
+                double fd = (d4at(sp) - d4at(sm)) / (2 * eps);
+                double r2 = norm2(s);
+                EXPECT_NEAR(d5Tensor(s, r2, std::pow(r2, -5.5), i, j, k, l, m), fd,
+                            1e-3 * std::max(1.0, std::abs(fd)));
+            }
+}
+
+// --- Barnes-Hut solver --------------------------------------------------------
+
+TEST(GravitySolver, ErrorDecreasesWithTheta)
+{
+    auto ps = randomCluster(2000, 42);
+    double prev = 1e30;
+    for (double theta : {0.9, 0.6, 0.3})
+    {
+        GravityParams<double> params;
+        params.theta = theta;
+        params.order = MultipoleOrder::Quadrupole;
+        auto psCopy = ps;
+        double err = rmsError(psCopy, params);
+        EXPECT_LT(err, prev * 1.05) << "theta=" << theta;
+        prev = err;
+    }
+    EXPECT_LT(prev, 2e-3); // theta=0.3 quadrupole
+}
+
+class GravityOrderSweep : public ::testing::TestWithParam<MultipoleOrder>
+{
+};
+
+TEST_P(GravityOrderSweep, AccuracyBound)
+{
+    auto ps = randomCluster(1500, 43);
+    GravityParams<double> params;
+    params.theta = 0.6;
+    params.order = GetParam();
+    double err = rmsError(ps, params);
+    double bound = 0;
+    switch (GetParam())
+    {
+        case MultipoleOrder::Monopole: bound = 5e-2; break;
+        case MultipoleOrder::Quadrupole: bound = 1e-2; break;
+        case MultipoleOrder::Octupole: bound = 5e-3; break;
+        case MultipoleOrder::Hexadecapole: bound = 2e-3; break;
+    }
+    EXPECT_LT(err, bound) << multipoleOrderName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GravityOrderSweep,
+                         ::testing::Values(MultipoleOrder::Monopole,
+                                           MultipoleOrder::Quadrupole,
+                                           MultipoleOrder::Octupole,
+                                           MultipoleOrder::Hexadecapole));
+
+TEST(GravitySolver, HigherOrderIsMoreAccurate)
+{
+    auto ps = randomCluster(1500, 44);
+    GravityParams<double> p;
+    p.theta = 0.8;
+    p.order = MultipoleOrder::Monopole;
+    auto a = ps;
+    double eMono = rmsError(a, p);
+    p.order = MultipoleOrder::Quadrupole;
+    auto b = ps;
+    double eQuad = rmsError(b, p);
+    p.order = MultipoleOrder::Hexadecapole;
+    auto c = ps;
+    double eHex = rmsError(c, p);
+    EXPECT_LT(eQuad, eMono);
+    EXPECT_LT(eHex, eQuad);
+}
+
+TEST(GravitySolver, MomentumConservedByDirectSum)
+{
+    auto ps = randomCluster(500, 45);
+    GravityParams<double> params;
+    GravitySolver<double>::directSum(ps, params);
+    double fx = 0, fy = 0, fz = 0;
+    for (std::size_t i = 0; i < ps.size(); ++i)
+    {
+        fx += ps.m[i] * ps.ax[i];
+        fy += ps.m[i] * ps.ay[i];
+        fz += ps.m[i] * ps.az[i];
+    }
+    EXPECT_NEAR(fx, 0.0, 1e-10);
+    EXPECT_NEAR(fy, 0.0, 1e-10);
+    EXPECT_NEAR(fz, 0.0, 1e-10);
+}
+
+TEST(GravitySolver, PotentialEnergyMatchesDirect)
+{
+    auto ps = randomCluster(1000, 46);
+    GravityParams<double> params;
+    params.theta = 0.4;
+    params.order = MultipoleOrder::Quadrupole;
+
+    auto ref = ps;
+    double potDirect = GravitySolver<double>::directSum(ref, params);
+
+    Box<double> box = computeBoundingBox<double>(ps.x, ps.y, ps.z);
+    Octree<double> tree;
+    tree.build(ps.x, ps.y, ps.z, box);
+    GravitySolver<double> solver;
+    solver.prepare(tree, ps, params);
+    double potTree = solver.accumulate(ps);
+
+    EXPECT_NEAR(potTree, potDirect, 2e-3 * std::abs(potDirect));
+    EXPECT_LT(potDirect, 0.0);
+}
+
+TEST(GravitySolver, SofteningBoundsCloseForces)
+{
+    // two very close particles: softened force stays finite and below the
+    // unsoftened point-mass force.
+    ParticleSet<double> ps(2);
+    ps.x = {0.0, 1e-8};
+    ps.y = {0.0, 0.0};
+    ps.z = {0.0, 0.0};
+    ps.m = {1.0, 1.0};
+    GravityParams<double> params;
+    params.softening = 0.01;
+    GravitySolver<double>::directSum(ps, params);
+    double a = std::abs(ps.ax[0]);
+    EXPECT_LT(a, 1.0 / (0.01 * 0.01)); // bounded by eps^-2
+    EXPECT_GT(a, 0.0);
+}
+
+TEST(GravitySolver, TwoBodyAnalytic)
+{
+    ParticleSet<double> ps(2);
+    ps.x = {0.0, 1.0};
+    ps.y = {0.0, 0.0};
+    ps.z = {0.0, 0.0};
+    ps.m = {2.0, 3.0};
+    GravityParams<double> params; // G = 1, no softening
+    double pot = GravitySolver<double>::directSum(ps, params);
+    EXPECT_NEAR(ps.ax[0], 3.0, 1e-14);    // toward +x, magnitude m2/r^2
+    EXPECT_NEAR(ps.ax[1], -2.0, 1e-14);
+    EXPECT_NEAR(pot, -6.0, 1e-14); // -m1 m2 / r
+}
+
+TEST(GravitySolver, StatsAreCounted)
+{
+    auto ps = randomCluster(2000, 47);
+    GravityParams<double> params;
+    params.theta = 0.6;
+    Box<double> box = computeBoundingBox<double>(ps.x, ps.y, ps.z);
+    Octree<double> tree;
+    Octree<double>::BuildParams bp;
+    bp.leafSize = 16; // a fine tree is required for Barnes-Hut to prune
+    tree.build(ps.x, ps.y, ps.z, box, bp);
+    GravitySolver<double> solver;
+    solver.prepare(tree, ps, params);
+    GravityStats stats;
+    solver.accumulate(ps, &stats);
+    EXPECT_GT(stats.p2pInteractions, 0u);
+    EXPECT_GT(stats.m2pInteractions, 0u);
+    // far fewer than N^2 direct interactions
+    EXPECT_LT(stats.p2pInteractions + stats.m2pInteractions,
+              ps.size() * ps.size() / 4);
+}

@@ -1,0 +1,158 @@
+/// ParticleSet container tests: field enumeration, gather/erase/append,
+/// reorder, and the invariants the checkpoint and migration substrates
+/// depend on.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "math/rng.hpp"
+#include "sph/particles.hpp"
+
+using namespace sphexa;
+
+namespace {
+
+ParticleSetD makeSequential(std::size_t n)
+{
+    ParticleSetD ps(n);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        ps.x[i] = double(i);
+        ps.y[i] = double(i) * 10;
+        ps.z[i] = double(i) * 100;
+        ps.m[i] = 1.0 + double(i);
+        ps.id[i] = i;
+        ps.nc[i] = int(i);
+        ps.bin[i] = int(i % 4);
+    }
+    return ps;
+}
+
+} // namespace
+
+TEST(ParticleSet, ResizeSetsAllFields)
+{
+    ParticleSetD ps(10);
+    EXPECT_EQ(ps.size(), 10u);
+    for (auto* f : ps.realFields())
+    {
+        EXPECT_EQ(f->size(), 10u);
+    }
+    EXPECT_EQ(ps.id.size(), 10u);
+    EXPECT_EQ(ps.nc.size(), 10u);
+    EXPECT_EQ(ps.bin.size(), 10u);
+}
+
+TEST(ParticleSet, FieldNamesAlignWithFields)
+{
+    ParticleSetD ps(1);
+    EXPECT_EQ(ps.realFields().size(), ParticleSetD::realFieldNames().size());
+}
+
+TEST(ParticleSet, FieldByNameRoundTrip)
+{
+    ParticleSetD ps(3);
+    ps.field("rho")[1] = 42.0;
+    EXPECT_DOUBLE_EQ(ps.rho[1], 42.0);
+    ps.h[2] = 0.7;
+    EXPECT_DOUBLE_EQ(ps.field("h")[2], 0.7);
+    EXPECT_THROW(ps.field("nonexistent"), std::out_of_range);
+}
+
+TEST(ParticleSet, AppendFromCopiesEverything)
+{
+    auto src = makeSequential(5);
+    src.rho[3] = 9.5;
+    ParticleSetD dst;
+    dst.appendFrom(src, 3);
+    ASSERT_EQ(dst.size(), 1u);
+    EXPECT_DOUBLE_EQ(dst.x[0], 3.0);
+    EXPECT_DOUBLE_EQ(dst.rho[0], 9.5);
+    EXPECT_EQ(dst.id[0], 3u);
+    EXPECT_EQ(dst.bin[0], 3);
+}
+
+TEST(ParticleSet, GatherSelectsIndices)
+{
+    auto ps = makeSequential(10);
+    std::vector<std::size_t> idx{1, 4, 7};
+    auto sub = ps.gather(idx);
+    ASSERT_EQ(sub.size(), 3u);
+    EXPECT_DOUBLE_EQ(sub.x[0], 1.0);
+    EXPECT_DOUBLE_EQ(sub.x[1], 4.0);
+    EXPECT_DOUBLE_EQ(sub.x[2], 7.0);
+    EXPECT_EQ(sub.id[2], 7u);
+}
+
+TEST(ParticleSet, EraseSortedRemoves)
+{
+    auto ps = makeSequential(6);
+    std::vector<std::size_t> dead{0, 3, 5};
+    ps.eraseSorted(dead);
+    ASSERT_EQ(ps.size(), 3u);
+    EXPECT_DOUBLE_EQ(ps.x[0], 1.0);
+    EXPECT_DOUBLE_EQ(ps.x[1], 2.0);
+    EXPECT_DOUBLE_EQ(ps.x[2], 4.0);
+    EXPECT_EQ(ps.id[2], 4u);
+}
+
+TEST(ParticleSet, EraseNothing)
+{
+    auto ps = makeSequential(4);
+    ps.eraseSorted({});
+    EXPECT_EQ(ps.size(), 4u);
+}
+
+TEST(ParticleSet, AppendConcatenates)
+{
+    auto a = makeSequential(3);
+    auto b = makeSequential(2);
+    a.append(b);
+    ASSERT_EQ(a.size(), 5u);
+    EXPECT_DOUBLE_EQ(a.x[3], 0.0);
+    EXPECT_DOUBLE_EQ(a.x[4], 1.0);
+}
+
+TEST(ParticleSet, GatherThenEraseIsPartition)
+{
+    auto ps = makeSequential(8);
+    std::vector<std::size_t> idx{2, 5};
+    auto moved = ps.gather(idx);
+    ps.eraseSorted(idx);
+    EXPECT_EQ(ps.size() + moved.size(), 8u);
+    // total mass preserved
+    double total = std::accumulate(ps.m.begin(), ps.m.end(), 0.0) +
+                   std::accumulate(moved.m.begin(), moved.m.end(), 0.0);
+    double expected = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        expected += 1.0 + double(i);
+    EXPECT_DOUBLE_EQ(total, expected);
+}
+
+TEST(ParticleSet, ReorderAppliesPermutation)
+{
+    auto ps = makeSequential(4);
+    std::vector<std::size_t> order{3, 1, 0, 2};
+    ps.reorder(order);
+    EXPECT_DOUBLE_EQ(ps.x[0], 3.0);
+    EXPECT_DOUBLE_EQ(ps.x[1], 1.0);
+    EXPECT_DOUBLE_EQ(ps.x[2], 0.0);
+    EXPECT_DOUBLE_EQ(ps.x[3], 2.0);
+    EXPECT_EQ(ps.id[0], 3u);
+    EXPECT_EQ(ps.bin[0], 3);
+}
+
+TEST(ParticleSet, ReorderRejectsBadPermutationSize)
+{
+    auto ps = makeSequential(4);
+    std::vector<std::size_t> tooShort{0, 1};
+    EXPECT_THROW(ps.reorder(tooShort), std::invalid_argument);
+}
+
+TEST(ParticleSet, FloatInstantiation)
+{
+    ParticleSet<float> ps(5);
+    ps.x[0] = 1.5f;
+    EXPECT_EQ(ps.realFields().size(), ParticleSet<float>::realFieldNames().size());
+}

@@ -1,0 +1,436 @@
+/// Octree and SFC-key tests: round trips, ordering invariants, tree
+/// structural invariants, and neighbor-search equivalence against brute
+/// force — including periodic boxes — as property tests over random clouds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "math/rng.hpp"
+#include "tree/cell_list.hpp"
+#include "tree/hilbert.hpp"
+#include "tree/morton.hpp"
+#include "tree/neighbors.hpp"
+#include "tree/octree.hpp"
+
+using namespace sphexa;
+
+// --- Morton keys ------------------------------------------------------------
+
+TEST(Morton, EncodeDecodeRoundTrip)
+{
+    Xoshiro256pp rng(1);
+    for (int t = 0; t < 1000; ++t)
+    {
+        std::uint64_t x = rng.uniformInt(sfcCellsPerDim);
+        std::uint64_t y = rng.uniformInt(sfcCellsPerDim);
+        std::uint64_t z = rng.uniformInt(sfcCellsPerDim);
+        std::uint64_t dx, dy, dz;
+        mortonDecode(mortonEncode(x, y, z), dx, dy, dz);
+        EXPECT_EQ(dx, x);
+        EXPECT_EQ(dy, y);
+        EXPECT_EQ(dz, z);
+    }
+}
+
+TEST(Morton, KnownValues)
+{
+    EXPECT_EQ(mortonEncode(0, 0, 0), 0u);
+    EXPECT_EQ(mortonEncode(0, 0, 1), 1u);
+    EXPECT_EQ(mortonEncode(0, 1, 0), 2u);
+    EXPECT_EQ(mortonEncode(1, 0, 0), 4u);
+    EXPECT_EQ(mortonEncode(1, 1, 1), 7u);
+}
+
+TEST(Morton, OctantOrderIsDepthFirst)
+{
+    // the top-level octant of a key is its top 3 bits
+    std::uint64_t big = sfcCellsPerDim / 2; // first cell of upper half
+    std::uint64_t key = mortonEncode(big, 0, 0);
+    EXPECT_EQ(key >> 60, 4u); // x-bit at the top octant
+}
+
+TEST(Morton, Monotonicity)
+{
+    // along each axis, increasing coordinate increases the key (other
+    // coordinates zero).
+    std::uint64_t prev = 0;
+    for (std::uint64_t c = 1; c < 64; ++c)
+    {
+        std::uint64_t k = mortonEncode(c, 0, 0);
+        EXPECT_GT(k, prev);
+        prev = k;
+    }
+}
+
+// --- Hilbert keys -----------------------------------------------------------
+
+TEST(Hilbert, EncodeDecodeRoundTrip)
+{
+    Xoshiro256pp rng(2);
+    for (int t = 0; t < 1000; ++t)
+    {
+        std::uint64_t x = rng.uniformInt(sfcCellsPerDim);
+        std::uint64_t y = rng.uniformInt(sfcCellsPerDim);
+        std::uint64_t z = rng.uniformInt(sfcCellsPerDim);
+        std::uint64_t dx, dy, dz;
+        hilbertDecode(hilbertEncode(x, y, z), dx, dy, dz);
+        EXPECT_EQ(dx, x);
+        EXPECT_EQ(dy, y);
+        EXPECT_EQ(dz, z);
+    }
+}
+
+TEST(Hilbert, IsABijectionOnCoarseGrid)
+{
+    // On a 8x8x8 sub-grid (scaled to full resolution), keys must be unique.
+    std::set<std::uint64_t> keys;
+    std::uint64_t step = sfcCellsPerDim / 8;
+    for (std::uint64_t x = 0; x < 8; ++x)
+        for (std::uint64_t y = 0; y < 8; ++y)
+            for (std::uint64_t z = 0; z < 8; ++z)
+            {
+                keys.insert(hilbertEncode(x * step, y * step, z * step));
+            }
+    EXPECT_EQ(keys.size(), 512u);
+}
+
+TEST(Hilbert, AdjacencyProperty)
+{
+    // Defining property of the Hilbert curve: consecutive cells along the
+    // curve are face neighbors (unit step in exactly one axis). Verify on
+    // the full resolution curve restricted to the first 4096 steps of a
+    // coarse traversal: we decode consecutive keys at the deepest level.
+    std::uint64_t px = 0, py = 0, pz = 0;
+    hilbertDecode(0, px, py, pz);
+    for (std::uint64_t k = 1; k < 4096; ++k)
+    {
+        std::uint64_t x, y, z;
+        hilbertDecode(k, x, y, z);
+        std::uint64_t manhattan = (x > px ? x - px : px - x) + (y > py ? y - py : py - y) +
+                                  (z > pz ? z - pz : pz - z);
+        ASSERT_EQ(manhattan, 1u) << "at key " << k;
+        px = x; py = y; pz = z;
+    }
+}
+
+TEST(Hilbert, BetterLocalityThanMorton)
+{
+    // Sum of |key(i) - key(j)| over face-neighbor cell pairs in a coarse
+    // grid: Hilbert should not be worse than Morton (locality measure).
+    const std::uint64_t n = 16;
+    std::uint64_t scale = sfcCellsPerDim / n;
+    auto span = [&](auto encode) {
+        long double total = 0;
+        for (std::uint64_t x = 0; x + 1 < n; ++x)
+            for (std::uint64_t y = 0; y < n; ++y)
+                for (std::uint64_t z = 0; z < n; ++z)
+                {
+                    auto a = encode(x * scale, y * scale, z * scale);
+                    auto b = encode((x + 1) * scale, y * scale, z * scale);
+                    total += a > b ? (long double)(a - b) : (long double)(b - a);
+                }
+        return total;
+    };
+    long double mortonSpan  = span([](auto a, auto b, auto c) { return mortonEncode(a, b, c); });
+    long double hilbertSpan = span([](auto a, auto b, auto c) { return hilbertEncode(a, b, c); });
+    EXPECT_LT(hilbertSpan, mortonSpan);
+}
+
+// --- Octree invariants ------------------------------------------------------
+
+namespace {
+
+struct Cloud
+{
+    std::vector<double> x, y, z, h;
+};
+
+Cloud randomCloud(std::size_t n, std::uint64_t seed, double hval = 0.05)
+{
+    Cloud c;
+    Xoshiro256pp rng(seed);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        c.x.push_back(rng.uniform());
+        c.y.push_back(rng.uniform());
+        c.z.push_back(rng.uniform());
+        c.h.push_back(hval);
+    }
+    return c;
+}
+
+} // namespace
+
+class OctreeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(OctreeSweep, OrderIsAPermutation)
+{
+    auto c = randomCloud(GetParam(), 10 + GetParam());
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box);
+
+    std::vector<char> seen(GetParam(), 0);
+    for (auto i : tree.order())
+    {
+        ASSERT_LT(i, GetParam());
+        ASSERT_FALSE(seen[i]);
+        seen[i] = 1;
+    }
+}
+
+TEST_P(OctreeSweep, SortedKeysAreSorted)
+{
+    auto c = randomCloud(GetParam(), 20 + GetParam());
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box);
+    EXPECT_TRUE(std::is_sorted(tree.sortedKeys().begin(), tree.sortedKeys().end()));
+}
+
+TEST_P(OctreeSweep, NodesPartitionParticles)
+{
+    auto c = randomCloud(GetParam(), 30 + GetParam());
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box);
+
+    // root covers everything
+    EXPECT_EQ(tree.node(0).first, 0u);
+    EXPECT_EQ(tree.node(0).count, GetParam());
+
+    // children of every internal node exactly tile the parent's range
+    for (std::size_t nIdx = 0; nIdx < tree.nodeCount(); ++nIdx)
+    {
+        const auto& nd = tree.node(std::uint32_t(nIdx));
+        if (nd.nChildren == 0) continue;
+        std::uint32_t covered = 0;
+        std::uint32_t expectNext = nd.first;
+        for (int ch = 0; ch < nd.nChildren; ++ch)
+        {
+            const auto& cd = tree.node(nd.child + ch);
+            EXPECT_EQ(cd.first, expectNext);
+            covered += cd.count;
+            expectNext = cd.first + cd.count;
+        }
+        EXPECT_EQ(covered, nd.count);
+    }
+}
+
+TEST_P(OctreeSweep, AabbsContainTheirParticles)
+{
+    auto c = randomCloud(GetParam(), 40 + GetParam());
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box);
+
+    for (std::size_t nIdx = 0; nIdx < tree.nodeCount(); ++nIdx)
+    {
+        const auto& nd = tree.node(std::uint32_t(nIdx));
+        for (std::uint32_t k = nd.first; k < nd.first + nd.count; ++k)
+        {
+            auto i = tree.order()[k];
+            EXPECT_GE(c.x[i], nd.lo.x - 1e-12);
+            EXPECT_LE(c.x[i], nd.hi.x + 1e-12);
+            EXPECT_GE(c.y[i], nd.lo.y - 1e-12);
+            EXPECT_LE(c.y[i], nd.hi.y + 1e-12);
+            EXPECT_GE(c.z[i], nd.lo.z - 1e-12);
+            EXPECT_LE(c.z[i], nd.hi.z + 1e-12);
+        }
+    }
+}
+
+TEST_P(OctreeSweep, LeafSizeRespected)
+{
+    auto c = randomCloud(GetParam(), 50 + GetParam());
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double>::BuildParams params;
+    params.leafSize = 16;
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box, params);
+
+    for (std::size_t nIdx = 0; nIdx < tree.nodeCount(); ++nIdx)
+    {
+        const auto& nd = tree.node(std::uint32_t(nIdx));
+        if (nd.nChildren == 0)
+        {
+            // leaves can only exceed leafSize at max depth (duplicates)
+            if (nd.depth < Octree<double>::maxDepth)
+            {
+                EXPECT_LE(nd.count, params.leafSize);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OctreeSweep, ::testing::Values(1, 2, 17, 100, 1000, 5000));
+
+TEST(Octree, HandlesDuplicatePositions)
+{
+    std::vector<double> x(100, 0.5), y(100, 0.5), z(100, 0.5);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double> tree;
+    Octree<double>::BuildParams params;
+    params.leafSize = 8;
+    tree.build(x, y, z, box, params);
+    EXPECT_EQ(tree.node(0).count, 100u);
+    // all duplicates end in one (max-depth) leaf; no infinite recursion
+    EXPECT_GT(tree.nodeCount(), 0u);
+}
+
+TEST(Octree, EmptyAndSingle)
+{
+    std::vector<double> x, y, z;
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double> tree;
+    tree.build(x, y, z, box);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+
+    x = {0.3};
+    y = {0.4};
+    z = {0.5};
+    tree.build(x, y, z, box);
+    EXPECT_EQ(tree.node(0).count, 1u);
+}
+
+TEST(Octree, ParallelBuildEquivalent)
+{
+    auto c = randomCloud(20000, 99);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+
+    Octree<double> seq, par;
+    Octree<double>::BuildParams ps;
+    ps.parallelBuild = false;
+    seq.build(c.x, c.y, c.z, box, ps);
+    ps.parallelBuild = true;
+    par.build(c.x, c.y, c.z, box, ps);
+
+    EXPECT_EQ(seq.nodeCount(), par.nodeCount());
+    EXPECT_EQ(seq.order(), par.order());
+    // neighbor searches must agree
+    NeighborList<double> nlSeq(c.x.size(), 64), nlPar(c.x.size(), 64);
+    findNeighborsGlobal(seq, c.x, c.y, c.z, c.h, nlSeq);
+    findNeighborsGlobal(par, c.x, c.y, c.z, c.h, nlPar);
+    for (std::size_t i = 0; i < c.x.size(); ++i)
+    {
+        ASSERT_EQ(nlSeq.count(i), nlPar.count(i)) << i;
+    }
+}
+
+// --- neighbor search equivalence (property test) ----------------------------
+
+class NeighborEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool, SfcCurve>>
+{
+};
+
+TEST_P(NeighborEquivalence, TreeMatchesBruteForce)
+{
+    auto [n, periodic, curve] = GetParam();
+    auto c = randomCloud(n, 7 * n + (periodic ? 1 : 0), 0.08);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}, periodic, periodic, periodic};
+
+    Octree<double>::BuildParams params;
+    params.curve = curve;
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box, params);
+
+    NeighborList<double> nlTree(n, 512), nlBrute(n, 512);
+    findNeighborsGlobal(tree, c.x, c.y, c.z, c.h, nlTree);
+    findNeighborsBruteForce<double>(c.x, c.y, c.z, c.h, box, nlBrute);
+
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        auto a = nlTree.neighbors(i);
+        auto b = nlBrute.neighbors(i);
+        std::set<std::uint32_t> sa(a.begin(), a.end());
+        std::set<std::uint32_t> sb(b.begin(), b.end());
+        ASSERT_EQ(sa, sb) << "particle " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clouds, NeighborEquivalence,
+    ::testing::Combine(::testing::Values(64, 500, 2000),
+                       ::testing::Bool(),
+                       ::testing::Values(SfcCurve::Morton, SfcCurve::Hilbert)));
+
+TEST(NeighborSearch, CellListMatchesTree)
+{
+    auto c = randomCloud(3000, 17, 0.06);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}, false, false, true}; // z-periodic
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box);
+
+    NeighborList<double> nlTree(c.x.size(), 512), nlCell(c.x.size(), 512);
+    findNeighborsGlobal(tree, c.x, c.y, c.z, c.h, nlTree);
+    findNeighborsCellList<double>(c.x, c.y, c.z, c.h, box, nlCell);
+
+    for (std::size_t i = 0; i < c.x.size(); ++i)
+    {
+        auto a = nlTree.neighbors(i);
+        auto b = nlCell.neighbors(i);
+        std::set<std::uint32_t> sa(a.begin(), a.end());
+        std::set<std::uint32_t> sb(b.begin(), b.end());
+        ASSERT_EQ(sa, sb) << "particle " << i;
+    }
+}
+
+TEST(NeighborSearch, IndividualWalkUpdatesOnlyActive)
+{
+    auto c = randomCloud(500, 23, 0.1);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box);
+
+    NeighborList<double> nl(c.x.size(), 256);
+    findNeighborsGlobal(tree, c.x, c.y, c.z, c.h, nl);
+    auto before = nl.count(0);
+
+    // enlarge h of particle 0 only, re-search an active subset without it
+    c.h[0] *= 2;
+    std::vector<std::size_t> active{1, 2, 3};
+    findNeighborsIndividual(tree, c.x, c.y, c.z, c.h, active, nl);
+    EXPECT_EQ(nl.count(0), before); // untouched
+
+    active = {0};
+    findNeighborsIndividual(tree, c.x, c.y, c.z, c.h, active, nl);
+    EXPECT_GT(nl.count(0), before); // larger radius found more
+}
+
+TEST(NeighborList, OverflowDetected)
+{
+    // 100 coincident-ish particles with huge h and tiny ngmax
+    auto c = randomCloud(100, 31, 2.0);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box);
+    NeighborList<double> nl(c.x.size(), 8);
+    findNeighborsGlobal(tree, c.x, c.y, c.z, c.h, nl);
+    EXPECT_GT(nl.overflowCount(), 0u);
+    for (std::size_t i = 0; i < c.x.size(); ++i)
+    {
+        EXPECT_LE(nl.count(i), 8u);
+    }
+}
+
+TEST(NeighborList, TotalNeighborsConsistent)
+{
+    auto c = randomCloud(400, 37, 0.1);
+    Box<double> box{{0, 0, 0}, {1, 1, 1}};
+    Octree<double> tree;
+    tree.build(c.x, c.y, c.z, box);
+    NeighborList<double> nl(c.x.size(), 256);
+    findNeighborsGlobal(tree, c.x, c.y, c.z, c.h, nl);
+
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < c.x.size(); ++i)
+        total += nl.count(i);
+    EXPECT_EQ(nl.totalNeighbors(), total);
+    // neighbor relation is symmetric for uniform h
+    EXPECT_EQ(total % 2, 0u);
+}
