@@ -21,6 +21,9 @@
 /// This driver is the shared-memory (single-rank, OpenMP) engine; the
 /// distributed-memory driver (domain/distributed.hpp) runs one of these per
 /// simulated rank over a decomposed domain.
+///
+/// docs/ARCHITECTURE.md walks the full pipeline stage by stage and names
+/// the header implementing each stage.
 
 #include <array>
 #include <cstdint>

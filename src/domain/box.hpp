@@ -30,12 +30,15 @@ struct Box
     {
     }
 
+    /// Edge length along one axis / all three axes.
     T length(int axis) const { return hi[axis] - lo[axis]; }
     Vec3<T> lengths() const { return hi - lo; }
+    /// Geometric center of the box.
     Vec3<T> center() const { return (lo + hi) * T(0.5); }
 
     T volume() const { return length(0) * length(1) * length(2); }
 
+    /// True if p lies inside the half-open box [lo, hi).
     bool contains(const Vec3<T>& p) const
     {
         return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y && p.z >= lo.z &&

@@ -11,12 +11,14 @@
 ///   3. per-rank Algorithm-1 phases A..H over local+ghost particles,
 ///      with ghost-field refreshes after density/EOS and before momentum
 ///   4. self-gravity via a replicated tree (positions/masses allgathered —
-///      the communication is counted; see DESIGN.md substitution notes)
+///      the communication is counted; see docs/DESIGN.md substitution notes)
 ///   5. global time-step reduction (allreduce-min), local update
 ///
 /// Per-rank phase wall times and per-rank communication traffic are
 /// recorded; they drive the POP metrics, the Fig. 4 trace, and the
 /// strong-scaling predictions of perf/cluster_sim.hpp.
+///
+/// See docs/ARCHITECTURE.md for the stage-by-stage pipeline walk-through.
 
 #include <cmath>
 #include <cstdint>

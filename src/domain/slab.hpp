@@ -17,12 +17,13 @@
 
 namespace sphexa {
 
+/// Result of slabDecompose().
 template<class T>
 struct SlabPartition
 {
-    std::vector<int> assignment;
-    std::vector<T>   rankWeights;
-    int axis = 0;
+    std::vector<int> assignment;  ///< owning rank per particle (input order)
+    std::vector<T>   rankWeights; ///< total particle weight per rank
+    int axis = 0;                 ///< split axis actually used (0/1/2)
 };
 
 /// Partition into equal-weight slabs along \p axis (default: the longest

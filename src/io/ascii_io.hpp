@@ -40,6 +40,7 @@ void writeCsv(std::ostream& os, const ParticleSet<T>& ps,
     }
 }
 
+/// writeCsv() to a file; throws std::runtime_error if the file can't open.
 template<class T>
 void writeCsvFile(const std::string& path, const ParticleSet<T>& ps,
                   const std::vector<std::string>& fields)

@@ -103,6 +103,7 @@ std::vector<std::byte> serialize(const ParticleSet<T>& ps, T time = T(0),
     return buf;
 }
 
+/// Particle state plus the simulation clock recovered by deserialize().
 template<class T>
 struct DeserializeResult
 {

@@ -15,6 +15,8 @@
 
 namespace sphexa {
 
+/// Uniformly sampled tabulation of a 1D function with linear interpolation
+/// on evaluation; see kernels.hpp for the table-accelerated kernel path.
 template<class T>
 class LookupTable
 {
@@ -45,7 +47,9 @@ public:
         return values_[i] + frac * (values_[i + 1] - values_[i]);
     }
 
+    /// Number of samples (0 for a default-constructed table).
     std::size_t size() const { return values_.size(); }
+    /// Lower/upper bound of the tabulated interval [a, b].
     T lower() const { return a_; }
     T upper() const { return b_; }
 

@@ -13,24 +13,28 @@
 
 namespace sphexa {
 
+/// Sum of all elements; T(0) for an empty span.
 template<class T>
 T sum(std::span<const T> v)
 {
     return std::accumulate(v.begin(), v.end(), T(0));
 }
 
+/// Arithmetic mean; T(0) for an empty span.
 template<class T>
 T mean(std::span<const T> v)
 {
     return v.empty() ? T(0) : sum(v) / T(v.size());
 }
 
+/// Largest element; T(0) for an empty span.
 template<class T>
 T maxValue(std::span<const T> v)
 {
     return v.empty() ? T(0) : *std::max_element(v.begin(), v.end());
 }
 
+/// Smallest element; T(0) for an empty span.
 template<class T>
 T minValue(std::span<const T> v)
 {

@@ -48,24 +48,28 @@ struct Vec3
     }
 };
 
+/// Inner product a . b.
 template<class T>
 constexpr T dot(const Vec3<T>& a, const Vec3<T>& b)
 {
     return a.x * b.x + a.y * b.y + a.z * b.z;
 }
 
+/// Cross product a x b.
 template<class T>
 constexpr Vec3<T> cross(const Vec3<T>& a, const Vec3<T>& b)
 {
     return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
 }
 
+/// Squared Euclidean norm |a|^2 (avoids the sqrt of norm()).
 template<class T>
 constexpr T norm2(const Vec3<T>& a)
 {
     return dot(a, a);
 }
 
+/// Euclidean norm |a|.
 template<class T>
 T norm(const Vec3<T>& a)
 {

@@ -5,7 +5,7 @@
 /// the mini-app needs (point-to-point exchange, collectives, traffic
 /// accounting).
 ///
-/// Substitution note (see DESIGN.md): the paper runs MPI over Cray Aries /
+/// Substitution note (see docs/DESIGN.md): the paper runs MPI over Cray Aries /
 /// Intel Omni-Path fabrics; this environment has no MPI runtime, so ranks
 /// are simulated in-process and executed BSP-style: a superstep runs every
 /// rank's compute phase, then exchange() routes all queued messages
@@ -13,7 +13,9 @@
 /// migration, global reductions) is written against this interface exactly
 /// as it would be against MPI, and every message's size is accounted so the
 /// network model (perf/netmodel.hpp) can convert traffic into modeled
-/// communication time.
+/// communication time. Porting to real MPI is a transport swap, not a
+/// redesign: the call surface (send/receive, allreduce min/max/sum,
+/// allgatherv, barrier) maps directly onto MPI's.
 
 #include <cstddef>
 #include <cstdint>

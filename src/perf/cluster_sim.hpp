@@ -2,7 +2,7 @@
 
 /// \file cluster_sim.hpp
 /// Strong-scaling predictor: the substitution for Piz Daint / MareNostrum 4
-/// (see DESIGN.md). Reproduces Figures 1-3 of the paper.
+/// (see docs/DESIGN.md). Reproduces Figures 1-3 of the paper.
 ///
 /// The pipeline has two halves:
 ///

@@ -20,11 +20,14 @@
 
 namespace sphexa {
 
+/// Converts counted traffic into modeled seconds for one machine's
+/// (alpha, beta); see perf/machine.hpp for the per-machine parameters.
 class NetworkModel
 {
 public:
     explicit NetworkModel(const NetworkParams& params) : p_(params) {}
 
+    /// Single message: t = alpha + bytes / beta.
     double pointToPoint(std::size_t bytes) const
     {
         return p_.latencySeconds + double(bytes) / p_.bandwidthBytesPerSec;
@@ -38,6 +41,7 @@ public:
                double(totalBytes) / p_.bandwidthBytesPerSec;
     }
 
+    /// Rabenseifner allreduce: 2 log2(P) alpha + 2 bytes / beta.
     double allreduce(int ranks, std::size_t bytes) const
     {
         if (ranks <= 1) return 0.0;
@@ -46,6 +50,7 @@ public:
                2.0 * double(bytes) / p_.bandwidthBytesPerSec;
     }
 
+    /// Ring/recursive-doubling allgatherv on the aggregate payload.
     double allgatherv(int ranks, std::size_t totalBytes) const
     {
         if (ranks <= 1) return 0.0;
@@ -55,6 +60,7 @@ public:
                    p_.bandwidthBytesPerSec;
     }
 
+    /// Tree barrier: log2(P) latency rounds, no payload.
     double barrier(int ranks) const
     {
         if (ranks <= 1) return 0.0;

@@ -14,6 +14,7 @@ class Timer
 public:
     Timer() { reset(); }
 
+    /// Restart the reference point; elapsed() measures from here on.
     void reset() { start_ = Clock::now(); }
 
     /// Seconds since construction or last reset().

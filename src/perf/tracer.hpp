@@ -2,7 +2,7 @@
 
 /// \file tracer.hpp
 /// Extrae-like execution tracer (substitution for Extrae/Paraver, see
-/// DESIGN.md): records per-rank, per-thread activity intervals labeled with
+/// docs/DESIGN.md): records per-rank, per-thread activity intervals labeled with
 /// the execution states of the paper's Fig. 4 —
 ///
 ///   Computing (blue) · MPI collective (orange) · Thread synchronization
@@ -185,7 +185,7 @@ public:
                     for (int c = a; c <= b; ++c)
                         row[c] = activityGlyph(iv.state);
                 }
-                char label[16];
+                char label[32];
                 std::snprintf(label, sizeof(label), "r%02d.t%02d ", r, t);
                 out += label + row + "\n";
             }

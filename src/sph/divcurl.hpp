@@ -19,6 +19,11 @@
 
 namespace sphexa {
 
+/// Phase G of Algorithm 1: fills ps.divv, ps.curlv (magnitude), and the
+/// ps.balsara limiter for every particle in `active` (all particles when
+/// empty). Gradients use IAD coefficients or plain kernel derivatives
+/// according to `mode`; requires density/volume and, for IAD, the phase-F
+/// coefficients to be up to date.
 template<class T, class KernelT>
 void computeDivCurl(ParticleSet<T>& ps, const NeighborList<T>& nl, const KernelT& kernel,
                     const Box<T>& box, GradientMode mode,

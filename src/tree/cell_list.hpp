@@ -22,6 +22,8 @@
 
 namespace sphexa {
 
+/// Uniform grid over the box; build() bins particles with a counting sort,
+/// forEachNeighbor() visits the 27 surrounding cells per query.
 template<class T>
 class CellList
 {
@@ -83,6 +85,7 @@ public:
                 }
     }
 
+    /// Grid resolution along \p axis (cells, >= 1).
     std::int64_t cells(int axis) const { return dims_[axis]; }
 
 private:

@@ -13,6 +13,10 @@
 /// the paper's Extrae analysis exposed (serial phase A with idle threads,
 /// Fig. 4); a task-parallel build is available as the "improved" variant and
 /// is compared in bench_neighbors.
+///
+/// Neighbor queries over the built tree live in tree/neighbors.hpp; the
+/// SFC keys are defined in tree/morton.hpp and tree/hilbert.hpp
+/// (docs/ARCHITECTURE.md §3).
 
 #include <algorithm>
 #include <cassert>

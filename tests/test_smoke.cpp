@@ -1,0 +1,41 @@
+/// \file test_smoke.cpp
+/// Build-system smoke checks: the library target links, version info is
+/// populated, and the public headers of every subsystem are includable
+/// together in one translation unit. The companion runtime check — the
+/// quickstart example running to completion — is registered with CTest as
+/// `examples.quickstart_runs` (see examples/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/config.hpp"
+#include "core/simulation.hpp"
+#include "core/version.hpp"
+#include "domain/distributed.hpp"
+#include "ft/checkpoint.hpp"
+#include "ic/square_patch.hpp"
+#include "io/serialize.hpp"
+#include "math/vec.hpp"
+#include "parallel/comm.hpp"
+#include "perf/timer.hpp"
+#include "sph/kernels.hpp"
+#include "tree/octree.hpp"
+
+namespace {
+
+TEST(Smoke, VersionIsPopulated)
+{
+    EXPECT_FALSE(sphexa::version().empty());
+    // Semantic version: at least major.minor with a leading digit.
+    EXPECT_TRUE(sphexa::version().find('.') != std::string_view::npos);
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(sphexa::version().front())));
+}
+
+TEST(Smoke, BannerIsPopulated)
+{
+    EXPECT_FALSE(sphexa::banner().empty());
+    EXPECT_NE(sphexa::banner().find("SPH"), std::string_view::npos);
+}
+
+} // namespace

@@ -507,7 +507,10 @@ TEST(MomentumEnergy, ActiveSubsetOnlyTouchesActive)
         bool isActive = i == 0 || i == 5 || i == 10;
         bool touched  = f.ps.ax[i] != 0.0 || f.ps.ay[i] != 0.0 || f.ps.az[i] != 0.0 ||
                        f.ps.du[i] != 0.0;
-        if (!isActive) EXPECT_FALSE(touched) << i;
+        if (!isActive)
+        {
+            EXPECT_FALSE(touched) << i;
+        }
         if (touched) ++nonzero;
     }
     EXPECT_LE(nonzero, 3u);
