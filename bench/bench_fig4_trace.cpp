@@ -4,11 +4,12 @@
 /// Piz Daint).
 ///
 /// The distributed driver runs one real step of the SPHYNX configuration
-/// over 16 simulated ranks; the measured per-rank phase durations (A..J)
-/// are expanded into a per-thread timeline under SPHYNX v1.3.1's intra-node
-/// parallelism profile (serial tree build, serial neighbor bookkeeping
-/// tails — the behaviours the paper's analysis exposed). The figure's
-/// qualitative content to verify:
+/// over 16 simulated ranks; the per-rank phase durations (A..J) are emitted
+/// by the pipeline runner into an attached PhaseEventLog — nothing is
+/// hand-recorded here — and expanded into a per-thread timeline under
+/// SPHYNX v1.3.1's intra-node parallelism profile (serial tree build,
+/// serial neighbor bookkeeping tails — the behaviours the paper's analysis
+/// exposed). The figure's qualitative content to verify:
 ///   - phase A (tree build) shows threads 1..11 idle (black) on every rank,
 ///   - phases E..H (SPH kernels) are wide, parallel (blue) regions,
 ///   - phase I (gravity) is present (this is the Evrard test),
@@ -50,20 +51,23 @@ int main()
     // Evrard closure: ideal gas with gamma = 5/3 (paper Sec. 5.1)
     Eos<double> eos{IdealGasEos<double>(5.0 / 3.0)};
     DistributedSimulation<double> sim(ps, box, eos, cfg, ranks);
+    PhaseEventLog log;
+    sim.attachPhaseLog(&log);
     sim.advance(); // warm-up step (h converges)
+    log.clear();   // keep only the measured step's runner-emitted events
     auto rep = sim.advance();
 
-    std::vector<std::array<double, phaseCount>> phaseSeconds(ranks);
+    // phase timings come from the pipeline runner's event log; only the
+    // communication volumes are read off the step report
     std::vector<double> commSeconds(ranks);
     NetworkModel net(pizDaint().network);
     for (int r = 0; r < ranks; ++r)
     {
-        phaseSeconds[r] = rep.ranks[r].phaseSeconds;
         commSeconds[r] =
             net.p2pBatch(rep.ranks[r].traffic.messagesSent, rep.ranks[r].traffic.bytesSent);
     }
 
-    auto legacy = expandTrace<double>(phaseSeconds, commSeconds, threads,
+    auto legacy = expandTrace<double>(log, ranks, commSeconds, threads,
                                       sphynx131Parallelism());
     std::printf("legend: '#' computing | 'M' MPI collective | 'm' MPI p2p | 's' thread "
                 "sync | 'f' fork/join | '.' idle\n");
@@ -77,7 +81,7 @@ int main()
                 mLegacy.loadBalance, mLegacy.communicationEfficiency,
                 mLegacy.parallelEfficiency);
 
-    auto improved = expandTrace<double>(phaseSeconds, commSeconds, threads,
+    auto improved = expandTrace<double>(log, ranks, commSeconds, threads,
                                         sphexaParallelism());
     auto mNew = computePopMetrics(improved);
     std::printf("SPH-EXA improved profile: load balance %.3f | comm efficiency %.3f | "

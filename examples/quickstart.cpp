@@ -12,6 +12,7 @@
 #include "core/simulation.hpp"
 #include "core/version.hpp"
 #include "ic/square_patch.hpp"
+#include "io/report_writer.hpp"
 
 using namespace sphexa;
 
@@ -38,18 +39,17 @@ int main(int argc, char** argv)
 
     Simulation<double> sim(std::move(ps), setup.box, Eos<double>(setup.eos), cfg);
 
-    // 3. run, printing the conservation diagnostics each step
+    // 3. run, printing the conservation diagnostics each step through the
+    //    shared per-step report writer
     sim.computeForces();
     auto c0 = sim.conservation();
-    std::printf("%5s %12s %12s %12s %12s %12s\n", "step", "dt", "Ekin", "Eint", "Etot",
-                "Lz");
+    StepReportWriter<double> writer;
+    writer.printHeader();
     for (int s = 0; s < steps; ++s)
     {
         auto rep = sim.advance();
         auto c   = sim.conservation();
-        std::printf("%5llu %12.4e %12.6f %12.6f %12.6f %12.6f\n",
-                    (unsigned long long)rep.step, rep.dt, c.kineticEnergy,
-                    c.internalEnergy, c.totalEnergy(), c.angularMomentum.z);
+        writer.printRow(rep, &c);
     }
 
     auto c1 = sim.conservation();

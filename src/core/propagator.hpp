@@ -1,0 +1,362 @@
+#pragma once
+
+/// \file propagator.hpp
+/// The phase-pipeline ("Propagator") layer: Algorithm 1 as data.
+///
+/// A phase of the paper's Fig. 4 timeline is a first-class named unit — a
+/// PhaseOp with a run(StepContext&) entry point — instead of a block of
+/// driver code. A pipeline is an ordered list of phases grouped into
+/// segments; segment boundaries carry the halo fields the distributed
+/// driver must refresh before the next segment may run (the cross-rank data
+/// dependencies of IAD, momentum and the Balsara limiter). The Propagator
+/// runs a pipeline and applies timing, StepReport accounting and the
+/// tracer's phase events uniformly — no call site hand-inserts Timer::lap().
+///
+/// Both drivers execute these same units:
+///  - Simulation (core/simulation.hpp) runs the full pipeline in one
+///    address space, ignoring the sync specs;
+///  - DistributedSimulation (domain/distributed.hpp) runs each segment once
+///    per rank and performs the halo refresh named at the boundary.
+///
+/// PipelineFactory assembles pipelines declaratively from a
+/// SimulationConfig — and therefore from the Table 1/3 parent-code presets
+/// of core/code_profiles.hpp: an Evrard-style config (selfGravity on)
+/// selects hydro+gravity, the square patch and Sedov configs select
+/// hydro-only, and custom() accepts any op list for bespoke scenarios.
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/step_context.hpp"
+#include "perf/timer.hpp"
+#include "sph/density.hpp"
+#include "sph/divcurl.hpp"
+#include "sph/iad.hpp"
+#include "sph/momentum_energy.hpp"
+#include "sph/smoothing_length.hpp"
+
+namespace sphexa {
+
+/// A named, first-class unit of work: one lettered phase of Algorithm 1.
+template<class T>
+struct PhaseOp
+{
+    Phase phase;
+    std::function<void(StepContext<T>&)> run;
+};
+
+/// A run of consecutive phases with no cross-rank data dependency inside,
+/// plus the ghost fields that must be refreshed before the next segment
+/// (empty for the shared-memory driver and for the final segment).
+template<class T>
+struct PipelineSegment
+{
+    std::vector<PhaseOp<T>> ops;
+    std::vector<std::string> haloFieldsAfter{};
+};
+
+/// The pipeline runner: executes phase units over a StepContext, timing
+/// each one into StepReport::phaseSeconds and emitting a PhaseEvent per
+/// phase when a log is attached.
+template<class T>
+class Propagator
+{
+public:
+    Propagator() = default;
+    explicit Propagator(std::vector<PipelineSegment<T>> segments)
+        : segments_(std::move(segments))
+    {
+    }
+
+    const std::vector<PipelineSegment<T>>& segments() const { return segments_; }
+
+    /// Flattened phase order across all segments.
+    std::vector<Phase> phases() const
+    {
+        std::vector<Phase> out;
+        for (const auto& seg : segments_)
+            for (const auto& op : seg.ops)
+                out.push_back(op.phase);
+        return out;
+    }
+
+    bool hasPhase(Phase p) const
+    {
+        for (const auto& seg : segments_)
+            for (const auto& op : seg.ops)
+                if (op.phase == p) return true;
+        return false;
+    }
+
+    /// Execute one segment for one rank; the distributed driver interleaves
+    /// these with the halo refreshes named in haloFieldsAfter.
+    void runSegment(std::size_t segment, StepContext<T>& ctx,
+                    std::array<double, phaseCount>& phaseSeconds,
+                    PhaseEventLog* log = nullptr, int rank = 0) const
+    {
+        Timer t;
+        for (const auto& op : segments_[segment].ops)
+        {
+            op.run(ctx);
+            double sec = t.lap();
+            phaseSeconds[int(op.phase)] += sec;
+            if (log) log->record(rank, op.phase, sec);
+        }
+    }
+
+    /// Execute the whole pipeline in one address space (shared-memory
+    /// driver): sync specs are no-ops, outputs land in the report.
+    void run(StepContext<T>& ctx, StepReport<T>& rep, PhaseEventLog* log = nullptr,
+             int rank = 0) const
+    {
+        for (std::size_t s = 0; s < segments_.size(); ++s)
+            runSegment(s, ctx, rep.phaseSeconds, log, rank);
+        harvest(ctx, rep);
+    }
+
+    /// Copy the context's per-step outputs into the report (the runner does
+    /// this in run(); segment-wise callers invoke it after the last segment).
+    static void harvest(const StepContext<T>& ctx, StepReport<T>& rep)
+    {
+        rep.neighborInteractions = ctx.neighborInteractions;
+        rep.activeParticles      = ctx.activeParticles;
+        rep.hIterations          = ctx.hIterations;
+        rep.gravityStats         = ctx.gravityStats;
+    }
+
+private:
+    std::vector<PipelineSegment<T>> segments_;
+};
+
+/// The phase units themselves. Each body is mode-aware through the
+/// StepContext (global walk, active-subset walk, or per-rank local walk) so
+/// the shared-memory and distributed drivers execute the exact same code.
+namespace phase_ops {
+
+template<class T>
+PhaseOp<T> treeBuild()
+{
+    return {Phase::A_TreeBuild, [](StepContext<T>& ctx) {
+                if (ctx.skipEmptyLocal()) return;
+                typename Octree<T>::BuildParams bp;
+                bp.leafSize      = ctx.cfg.treeLeafSize;
+                bp.curve         = ctx.cfg.sfcCurve;
+                bp.parallelBuild = ctx.cfg.parallelTreeBuild;
+                ctx.tree.build(ctx.ps.x, ctx.ps.y, ctx.ps.z, ctx.box, bp);
+            }};
+}
+
+template<class T>
+PhaseOp<T> neighborSearch()
+{
+    return {Phase::B_NeighborSearch, [](StepContext<T>& ctx) {
+                auto& ps = ctx.ps;
+                switch (ctx.walkMode)
+                {
+                    case WalkMode::Global:
+                        findNeighborsGlobal(ctx.tree, ps.x, ps.y, ps.z, ps.h, ctx.nl);
+                        ctx.activeParticles = ps.size();
+                        break;
+                    case WalkMode::ActiveSubset:
+                        if (ctx.controller)
+                        {
+                            ctx.walkIndices = ctx.controller->activeParticles(ps);
+                        }
+                        findNeighborsIndividual(ctx.tree, ps.x, ps.y, ps.z, ps.h,
+                                                ctx.walkIndices, ctx.nl);
+                        ctx.activeParticles = ctx.walkIndices.size();
+                        break;
+                    case WalkMode::LocalIndices:
+                        if (ctx.skipEmptyLocal()) return;
+                        findNeighborsIndividual(ctx.tree, ps.x, ps.y, ps.z, ps.h,
+                                                ctx.walkIndices, ctx.nl);
+                        ctx.activeParticles = ctx.walkIndices.size();
+                        break;
+                }
+            }};
+}
+
+template<class T>
+PhaseOp<T> smoothingLength()
+{
+    return {Phase::C_SmoothingLength, [](StepContext<T>& ctx) {
+                // subset steps reuse the converged h of the last full walk
+                // (ChaNGa-style individual time-stepping)
+                if (ctx.walkMode == WalkMode::ActiveSubset) return;
+                if (ctx.skipEmptyLocal()) return;
+                SmoothingLengthParams<T> hp;
+                hp.targetNeighbors = ctx.cfg.targetNeighbors;
+                hp.tolerance       = ctx.cfg.neighborTolerance;
+                // phase B just filled the lists for the current h (all
+                // particles in Global mode, the rank's owned particles in
+                // LocalIndices mode), so the iteration never repeats the
+                // initial walk — one shared h path for both drivers
+                auto hres = updateSmoothingLengths(ctx.ps, ctx.tree, ctx.nl, hp,
+                                                   ctx.activeSpan(), /*reuseLists*/ true);
+                ctx.hIterations = hres.iterations;
+            }};
+}
+
+template<class T>
+PhaseOp<T> neighborSymmetrize()
+{
+    return {Phase::D_NeighborSymmetrize, [](StepContext<T>& ctx) {
+                if (ctx.skipEmptyLocal())
+                {
+                    ctx.neighborInteractions = 0;
+                    return;
+                }
+                if (ctx.walkMode == WalkMode::Global && ctx.cfg.symmetrizeNeighbors)
+                {
+                    symmetrizeNeighborList(ctx.nl);
+                }
+                // interaction counter: owned particles only on a rank
+                // (remote pairs arrive via the halo), whole list otherwise
+                if (ctx.walkMode == WalkMode::LocalIndices)
+                {
+                    std::size_t inter = 0;
+                    for (std::size_t i : ctx.walkIndices)
+                        inter += ctx.nl.count(i);
+                    ctx.neighborInteractions = inter;
+                }
+                else
+                {
+                    ctx.neighborInteractions = ctx.nl.totalNeighbors();
+                }
+            }};
+}
+
+template<class T>
+PhaseOp<T> density()
+{
+    return {Phase::E_Density, [](StepContext<T>& ctx) {
+                if (ctx.skipEmptyLocal()) return;
+                computeVolumeElementWeights(ctx.ps, ctx.cfg.volumeElements,
+                                            ctx.cfg.veExponent);
+                computeDensity(ctx.ps, ctx.nl, ctx.kernel, ctx.box, ctx.activeSpan());
+            }};
+}
+
+template<class T>
+PhaseOp<T> eosAndIad()
+{
+    return {Phase::F_EosAndIad, [](StepContext<T>& ctx) {
+                if (ctx.skipEmptyLocal()) return;
+                auto& ps  = ctx.ps;
+                auto act  = ctx.activeSpan();
+                std::size_t count = act.empty() ? ps.size() : act.size();
+#pragma omp parallel for schedule(static)
+                for (std::size_t k = 0; k < count; ++k)
+                {
+                    std::size_t i = act.empty() ? k : act[k];
+                    auto res = ctx.eos(ps.rho[i], ps.u[i]);
+                    ps.p[i]  = res.pressure;
+                    ps.c[i]  = res.soundSpeed;
+                }
+                if (ctx.cfg.gradients == GradientMode::IAD)
+                {
+                    computeIadCoefficients(ps, ctx.nl, ctx.kernel, ctx.box, act);
+                }
+            }};
+}
+
+template<class T>
+PhaseOp<T> divCurl()
+{
+    return {Phase::G_DivCurl, [](StepContext<T>& ctx) {
+                if (ctx.skipEmptyLocal()) return;
+                computeDivCurl(ctx.ps, ctx.nl, ctx.kernel, ctx.box, ctx.cfg.gradients,
+                               ctx.activeSpan());
+            }};
+}
+
+template<class T>
+PhaseOp<T> momentumEnergy()
+{
+    return {Phase::H_MomentumEnergy, [](StepContext<T>& ctx) {
+                if (ctx.skipEmptyLocal()) return;
+                auto stats = computeMomentumEnergy(ctx.ps, ctx.nl, ctx.kernel, ctx.box,
+                                                   ctx.cfg.gradients, ctx.cfg.av,
+                                                   ctx.activeSpan());
+                ctx.maxVsignal = stats.maxVsignal;
+            }};
+}
+
+template<class T>
+PhaseOp<T> selfGravity()
+{
+    return {Phase::I_SelfGravity, [](StepContext<T>& ctx) {
+                if (!ctx.gravity) return; // distributed glue replicates instead
+                ctx.gravity->prepare(ctx.tree, ctx.ps, ctx.cfg.gravity);
+                ctx.potentialEnergy = ctx.gravity->accumulate(ctx.ps, &ctx.gravityStats);
+            }};
+}
+
+} // namespace phase_ops
+
+/// Assembles pipelines declaratively from a SimulationConfig (and therefore
+/// from the code_profiles.hpp presets).
+template<class T>
+class PipelineFactory
+{
+public:
+    /// Hydro-only force pipeline: phases A..H (square patch, Sedov).
+    static Propagator<T> hydro()
+    {
+        return custom({phase_ops::treeBuild<T>(), phase_ops::neighborSearch<T>(),
+                       phase_ops::smoothingLength<T>(),
+                       phase_ops::neighborSymmetrize<T>(), phase_ops::density<T>(),
+                       phase_ops::eosAndIad<T>(), phase_ops::divCurl<T>(),
+                       phase_ops::momentumEnergy<T>()});
+    }
+
+    /// Hydro + self-gravity pipeline: phases A..I (Evrard collapse).
+    static Propagator<T> hydroGravity()
+    {
+        auto p   = hydro();
+        auto seg = p.segments();
+        seg.back().ops.push_back(phase_ops::selfGravity<T>());
+        return Propagator<T>(std::move(seg));
+    }
+
+    /// Shared-memory pipeline for a configuration: the scenario (gravity or
+    /// not) selects the phase list.
+    static Propagator<T> singleRank(const SimulationConfig<T>& cfg)
+    {
+        return cfg.selfGravity ? hydroGravity() : hydro();
+    }
+
+    /// Distributed per-rank pipeline for a configuration: the same phase
+    /// units grouped into segments, with the ghost fields each cross-rank
+    /// data dependency needs refreshed at the boundaries (IAD reads the
+    /// neighbors' density-pass volumes, momentum their EOS + IAD outputs,
+    /// the AV limiter their Balsara value). Self-gravity is not a per-rank
+    /// phase: the driver replicates the tree in its reduction glue.
+    static Propagator<T> distributed(const SimulationConfig<T>&)
+    {
+        std::vector<PipelineSegment<T>> segs;
+        segs.push_back({{phase_ops::treeBuild<T>(), phase_ops::neighborSearch<T>(),
+                         phase_ops::smoothingLength<T>(),
+                         phase_ops::neighborSymmetrize<T>(), phase_ops::density<T>()},
+                        {"h", "rho", "vol", "gradh", "xmass"}});
+        segs.push_back({{phase_ops::eosAndIad<T>()},
+                        {"p", "c", "c11", "c12", "c13", "c22", "c23", "c33"}});
+        segs.push_back({{phase_ops::divCurl<T>()}, {"balsara", "divv", "curlv"}});
+        segs.push_back({{phase_ops::momentumEnergy<T>()}, {}});
+        return Propagator<T>(std::move(segs));
+    }
+
+    /// A bespoke single-segment pipeline from any op list.
+    static Propagator<T> custom(std::vector<PhaseOp<T>> ops)
+    {
+        std::vector<PipelineSegment<T>> segs;
+        segs.push_back({std::move(ops), {}});
+        return Propagator<T>(std::move(segs));
+    }
+};
+
+} // namespace sphexa

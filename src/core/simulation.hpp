@@ -1,7 +1,8 @@
 #pragma once
 
 /// \file simulation.hpp
-/// The mini-app driver: Algorithm 1 of the paper, instrumented per phase.
+/// The shared-memory mini-app driver: Algorithm 1 of the paper as a thin
+/// owner of state that executes a phase pipeline (core/propagator.hpp).
 ///
 ///   while target time not reached:
 ///     1. Build tree                      (phase A)
@@ -11,104 +12,33 @@
 ///     5. New time-step                   (phase J)
 ///     6. Update velocity and position    (phase J)
 ///
-/// The phase letters match the Extrae timeline of Fig. 4 so the tracer can
-/// reproduce that figure. Phase mapping:
-///   A tree build · B global neighbor walk · C h-iteration re-walks ·
-///   D neighbor-list symmetrization · E density (+VE weights) ·
-///   F EOS + IAD coefficients · G velocity div/curl (Balsara) ·
-///   H momentum & energy · I self-gravity · J time-step + update.
-///
-/// This driver is the shared-memory (single-rank, OpenMP) engine; the
-/// distributed-memory driver (domain/distributed.hpp) runs one of these per
-/// simulated rank over a decomposed domain.
+/// The phase letters match the Extrae timeline of Fig. 4; the pipeline
+/// runner times every phase uniformly and emits tracer events (attach a
+/// PhaseEventLog to capture them). The phase bodies themselves live in
+/// core/propagator.hpp and are shared with the distributed driver
+/// (domain/distributed.hpp), which runs them per rank over a decomposed
+/// domain. Phase J (time-step + kick-drift-kick) brackets the force
+/// pipeline and stays in the driver.
 ///
 /// docs/ARCHITECTURE.md walks the full pipeline stage by stage and names
 /// the header implementing each stage.
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "core/config.hpp"
+#include "core/propagator.hpp"
+#include "core/step_context.hpp"
 #include "domain/box.hpp"
 #include "perf/timer.hpp"
 #include "sph/conservation.hpp"
-#include "sph/density.hpp"
-#include "sph/divcurl.hpp"
-#include "sph/eos.hpp"
 #include "sph/integrator.hpp"
-#include "sph/iad.hpp"
-#include "sph/kernels.hpp"
-#include "sph/momentum_energy.hpp"
 #include "sph/particles.hpp"
-#include "sph/smoothing_length.hpp"
-#include "sph/timestep.hpp"
-#include "tree/gravity.hpp"
-#include "tree/neighbors.hpp"
-#include "tree/octree.hpp"
 
 namespace sphexa {
-
-/// Workflow phases, lettered as in the paper's Fig. 4.
-enum class Phase : int
-{
-    A_TreeBuild = 0,
-    B_NeighborSearch,
-    C_SmoothingLength,
-    D_NeighborSymmetrize,
-    E_Density,
-    F_EosAndIad,
-    G_DivCurl,
-    H_MomentumEnergy,
-    I_SelfGravity,
-    J_TimestepUpdate,
-    Count
-};
-
-constexpr int phaseCount = int(Phase::Count);
-
-constexpr std::string_view phaseName(Phase p)
-{
-    switch (p)
-    {
-        case Phase::A_TreeBuild: return "A:tree-build";
-        case Phase::B_NeighborSearch: return "B:neighbor-search";
-        case Phase::C_SmoothingLength: return "C:smoothing-length";
-        case Phase::D_NeighborSymmetrize: return "D:neighbor-symmetrize";
-        case Phase::E_Density: return "E:density";
-        case Phase::F_EosAndIad: return "F:eos+iad";
-        case Phase::G_DivCurl: return "G:div-curl";
-        case Phase::H_MomentumEnergy: return "H:momentum-energy";
-        case Phase::I_SelfGravity: return "I:self-gravity";
-        case Phase::J_TimestepUpdate: return "J:timestep-update";
-        default: return "?";
-    }
-}
-
-/// Per-step report: timings and work counters, the raw material of the
-/// performance experiments.
-template<class T>
-struct StepReport
-{
-    std::uint64_t step = 0;
-    T time = T(0);      ///< simulated time after the step
-    T dt = T(0);        ///< step size used
-    std::array<double, phaseCount> phaseSeconds{};
-    std::size_t neighborInteractions = 0; ///< total SPH pair visits
-    std::size_t activeParticles = 0;
-    GravityStats gravityStats{};
-    unsigned hIterations = 0;
-
-    double totalSeconds() const
-    {
-        double s = 0;
-        for (double p : phaseSeconds)
-            s += p;
-        return s;
-    }
-};
 
 /// Shared-memory SPH simulation of one particle set.
 template<class T>
@@ -123,6 +53,7 @@ public:
         , kernel_(cfg_.kernel, cfg_.sincExponent)
         , nl_(ps_.size(), cfg_.ngmax)
         , controller_(cfg_.timestep)
+        , pipeline_(PipelineFactory<T>::singleRank(cfg_))
     {
         if (ps_.empty()) throw std::invalid_argument("Simulation: empty particle set");
     }
@@ -137,6 +68,21 @@ public:
     T time() const { return time_; }
     std::uint64_t step() const { return stepCount_; }
     T potentialEnergy() const { return potentialEnergy_; }
+
+    /// The force pipeline this driver executes (phases A..I).
+    const Propagator<T>& pipeline() const { return pipeline_; }
+
+    /// Replace the force pipeline (custom phase sequences; the default is
+    /// PipelineFactory::singleRank(config)). Forces must be recomputed.
+    void setPipeline(Propagator<T> pipeline)
+    {
+        pipeline_    = std::move(pipeline);
+        forcesValid_ = false;
+    }
+
+    /// Attach a tracer log: the pipeline runner emits one PhaseEvent per
+    /// executed phase into it (pass nullptr to detach).
+    void attachPhaseLog(PhaseEventLog* log) { log_ = log; }
 
     /// Signal velocity of the last force evaluation (checkpoint metadata:
     /// restoring it makes the continuation bitwise instead of merely
@@ -162,102 +108,33 @@ public:
         }
     }
 
-    /// Compute forces for the current positions (phases A..I). Must be
-    /// called once before the first step(); step() calls it internally
-    /// afterwards.
-    StepReport<T> computeForces()
-    {
-        StepReport<T> rep;
-        rep.step = stepCount_;
-        Timer t;
-
-        // --- phase A: build tree ---
-        typename Octree<T>::BuildParams bp;
-        bp.leafSize      = cfg_.treeLeafSize;
-        bp.curve         = cfg_.sfcCurve;
-        bp.parallelBuild = cfg_.parallelTreeBuild;
-        tree_.build(ps_.x, ps_.y, ps_.z, box_, bp);
-        rep.phaseSeconds[int(Phase::A_TreeBuild)] = t.lap();
-
-        // --- phases B + C: neighbors and smoothing length ---
-        std::vector<std::size_t> active;
-        bool subset = cfg_.neighborMode == NeighborMode::IndividualTreeWalk &&
-                      controller_.stepCount() > 0;
-        if (subset)
-        {
-            active = controller_.activeParticles(ps_);
-            findNeighborsIndividual(tree_, ps_.x, ps_.y, ps_.z, ps_.h, active, nl_);
-            rep.phaseSeconds[int(Phase::B_NeighborSearch)] = t.lap();
-        }
-        else
-        {
-            SmoothingLengthParams<T> hp;
-            hp.targetNeighbors = cfg_.targetNeighbors;
-            hp.tolerance       = cfg_.neighborTolerance;
-            // B: the initial global walk happens inside; C: iterations
-            findNeighborsGlobal(tree_, ps_.x, ps_.y, ps_.z, ps_.h, nl_);
-            rep.phaseSeconds[int(Phase::B_NeighborSearch)] = t.lap();
-            auto hres = updateSmoothingLengths(ps_, tree_, nl_, hp);
-            rep.hIterations = hres.iterations;
-            rep.phaseSeconds[int(Phase::C_SmoothingLength)] = t.lap();
-        }
-        rep.activeParticles = subset ? active.size() : ps_.size();
-
-        // --- phase D: neighbor-list symmetrization ---
-        if (cfg_.symmetrizeNeighbors && !subset)
-        {
-            symmetrizeNeighborList(nl_);
-        }
-        rep.phaseSeconds[int(Phase::D_NeighborSymmetrize)] = t.lap();
-        rep.neighborInteractions = nl_.totalNeighbors();
-
-        std::span<const std::size_t> act =
-            subset ? std::span<const std::size_t>(active) : std::span<const std::size_t>{};
-
-        // --- phase E: density (+ generalized volume elements) ---
-        computeVolumeElementWeights(ps_, cfg_.volumeElements, cfg_.veExponent);
-        computeDensity(ps_, nl_, kernel_, box_, act);
-        rep.phaseSeconds[int(Phase::E_Density)] = t.lap();
-
-        // --- phase F: EOS + IAD coefficients ---
-        applyEos(act);
-        if (cfg_.gradients == GradientMode::IAD)
-        {
-            computeIadCoefficients(ps_, nl_, kernel_, box_, act);
-        }
-        rep.phaseSeconds[int(Phase::F_EosAndIad)] = t.lap();
-
-        // --- phase G: velocity divergence/curl (Balsara switch) ---
-        computeDivCurl(ps_, nl_, kernel_, box_, cfg_.gradients, act);
-        rep.phaseSeconds[int(Phase::G_DivCurl)] = t.lap();
-
-        // --- phase H: momentum and energy ---
-        auto stats = computeMomentumEnergy(ps_, nl_, kernel_, box_, cfg_.gradients,
-                                           cfg_.av, act);
-        maxVsignal_ = stats.maxVsignal;
-        rep.phaseSeconds[int(Phase::H_MomentumEnergy)] = t.lap();
-
-        // --- phase I: self-gravity ---
-        if (cfg_.selfGravity)
-        {
-            gravity_.prepare(tree_, ps_, cfg_.gravity);
-            potentialEnergy_ = gravity_.accumulate(ps_, &rep.gravityStats);
-        }
-        else
-        {
-            potentialEnergy_ = T(0);
-        }
-        rep.phaseSeconds[int(Phase::I_SelfGravity)] = t.lap();
-
-        forcesValid_ = true;
-        return rep;
-    }
+    /// Compute forces for the current positions (phases A..I) by running
+    /// the force pipeline. Must be called once before the first step();
+    /// step() calls it internally afterwards. The report's time/dt reflect
+    /// the current simulation state (dt is the last step size used, zero
+    /// before the first advance()).
+    StepReport<T> computeForces() { return forcePass(stepCount_); }
 
     /// Advance one time-step (kick-drift-kick). Returns the step report of
     /// the force recomputation plus the J-phase timing.
     StepReport<T> advance()
     {
-        if (!forcesValid_) { computeForces(); }
+        if (!forcesValid_)
+        {
+            // seed forces silently: this pass's report is discarded, and
+            // logging it would double-count phases A..I for the step
+            PhaseEventLog* saved = std::exchange(log_, nullptr);
+            try
+            {
+                computeForces();
+            }
+            catch (...)
+            {
+                log_ = saved;
+                throw;
+            }
+            log_ = saved;
+        }
 
         Timer t;
         // --- phase J (part 1): new time-step, first kick + drift ---
@@ -265,8 +142,9 @@ public:
         kickDrift(ps_, dtStep, box_);
         double jTime = t.lap();
 
-        // forces at the new positions (phases A..I)
-        StepReport<T> rep = computeForces();
+        // forces at the new positions (phases A..I), tagged with the step
+        // id the returned report will carry so log events and reports join
+        StepReport<T> rep = forcePass(stepCount_ + 1);
 
         // --- phase J (part 2): second kick + energy update ---
         t.reset();
@@ -276,6 +154,7 @@ public:
         jTime += t.lap();
 
         rep.phaseSeconds[int(Phase::J_TimestepUpdate)] = jTime;
+        if (log_) log_->record(0, Phase::J_TimestepUpdate, jTime);
         rep.dt   = dtStep;
         rep.time = time_;
         rep.step = stepCount_;
@@ -303,17 +182,30 @@ public:
     }
 
 private:
-    void applyEos(std::span<const std::size_t> active)
+    /// One force-pipeline pass; \p stepId tags the report and the emitted
+    /// phase events (the current step for standalone computeForces(), the
+    /// upcoming one inside advance()).
+    StepReport<T> forcePass(std::uint64_t stepId)
     {
-        std::size_t count = active.empty() ? ps_.size() : active.size();
-#pragma omp parallel for schedule(static)
-        for (std::size_t k = 0; k < count; ++k)
-        {
-            std::size_t i = active.empty() ? k : active[k];
-            auto res  = eos_(ps_.rho[i], ps_.u[i]);
-            ps_.p[i]  = res.pressure;
-            ps_.c[i]  = res.soundSpeed;
-        }
+        StepReport<T> rep;
+        rep.step = stepId;
+        rep.time = time_;
+        rep.dt   = controller_.currentDt();
+
+        StepContext<T> ctx{ps_, box_, cfg_, kernel_, eos_, tree_, nl_};
+        ctx.gravity    = &gravity_;
+        ctx.controller = &controller_;
+        bool subset    = cfg_.neighborMode == NeighborMode::IndividualTreeWalk &&
+                      controller_.stepCount() > 0;
+        ctx.walkMode = subset ? WalkMode::ActiveSubset : WalkMode::Global;
+
+        if (log_) log_->beginStep(stepId);
+        pipeline_.run(ctx, rep, log_, /*rank*/ 0);
+
+        maxVsignal_      = ctx.maxVsignal;
+        potentialEnergy_ = ctx.potentialEnergy;
+        forcesValid_     = true;
+        return rep;
     }
 
     ParticleSet<T> ps_;
@@ -325,6 +217,8 @@ private:
     NeighborList<T> nl_;
     GravitySolver<T> gravity_;
     TimestepController<T> controller_;
+    Propagator<T> pipeline_;
+    PhaseEventLog* log_{nullptr};
 
     T time_{0};
     std::uint64_t stepCount_{0};

@@ -1,0 +1,208 @@
+#pragma once
+
+/// \file step_context.hpp
+/// The shared vocabulary of the propagator layer (core/propagator.hpp):
+/// the workflow phases of the paper's Algorithm 1 / Fig. 4 timeline, the
+/// per-step report both drivers fill, the mutable state bundle a phase
+/// operates on (StepContext), and the runner-emitted phase-event log that
+/// feeds the Extrae-style tracer (perf/tracer.hpp).
+///
+/// Both drivers — the shared-memory Simulation (core/simulation.hpp) and
+/// the distributed DistributedSimulation (domain/distributed.hpp) — execute
+/// the same phase units over a StepContext; only decomposition, halo and
+/// reduction glue remains driver-specific. docs/ARCHITECTURE.md walks the
+/// pipeline stage by stage.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "domain/box.hpp"
+#include "sph/eos.hpp"
+#include "sph/particles.hpp"
+#include "sph/timestep.hpp"
+#include "tree/gravity.hpp"
+#include "tree/neighbors.hpp"
+#include "tree/octree.hpp"
+
+namespace sphexa {
+
+/// Workflow phases, lettered as in the paper's Fig. 4.
+enum class Phase : int
+{
+    A_TreeBuild = 0,
+    B_NeighborSearch,
+    C_SmoothingLength,
+    D_NeighborSymmetrize,
+    E_Density,
+    F_EosAndIad,
+    G_DivCurl,
+    H_MomentumEnergy,
+    I_SelfGravity,
+    J_TimestepUpdate,
+    Count
+};
+
+constexpr int phaseCount = int(Phase::Count);
+
+constexpr std::string_view phaseName(Phase p)
+{
+    switch (p)
+    {
+        case Phase::A_TreeBuild: return "A:tree-build";
+        case Phase::B_NeighborSearch: return "B:neighbor-search";
+        case Phase::C_SmoothingLength: return "C:smoothing-length";
+        case Phase::D_NeighborSymmetrize: return "D:neighbor-symmetrize";
+        case Phase::E_Density: return "E:density";
+        case Phase::F_EosAndIad: return "F:eos+iad";
+        case Phase::G_DivCurl: return "G:div-curl";
+        case Phase::H_MomentumEnergy: return "H:momentum-energy";
+        case Phase::I_SelfGravity: return "I:self-gravity";
+        case Phase::J_TimestepUpdate: return "J:timestep-update";
+        default: return "?";
+    }
+}
+
+/// Per-step report: timings and work counters, the raw material of the
+/// performance experiments.
+template<class T>
+struct StepReport
+{
+    std::uint64_t step = 0;
+    T time = T(0);      ///< simulated time after the step
+    T dt = T(0);        ///< step size used
+    std::array<double, phaseCount> phaseSeconds{};
+    std::size_t neighborInteractions = 0; ///< total SPH pair visits
+    std::size_t activeParticles = 0;
+    GravityStats gravityStats{};
+    unsigned hIterations = 0;
+
+    double totalSeconds() const
+    {
+        double s = 0;
+        for (double p : phaseSeconds)
+            s += p;
+        return s;
+    }
+};
+
+/// How the neighbor phases (B/C) traverse the particle set.
+enum class WalkMode
+{
+    Global,       ///< global tree walk + h iteration over all particles
+    ActiveSubset, ///< individual walks over the controller's active bin
+                  ///< (ChaNGa-style multi-time-stepping); empty set = all
+    LocalIndices, ///< distributed rank: walk the owned (non-ghost) particles
+};
+
+/// Everything a phase unit may read or write during one force evaluation.
+/// The driver owns the referenced state; the context adds the traversal
+/// mode and collects the per-step outputs that end up in StepReport.
+template<class T>
+struct StepContext
+{
+    ParticleSet<T>& ps;
+    const Box<T>& box;
+    const SimulationConfig<T>& cfg;
+    const Kernel<T>& kernel;
+    const Eos<T>& eos;
+    Octree<T>& tree;
+    NeighborList<T>& nl;
+
+    /// Barnes-Hut solver for the in-place phase I; null in the distributed
+    /// driver, which replicates the tree in its reduction glue instead.
+    GravitySolver<T>* gravity = nullptr;
+    /// Time-step controller; consulted by phase B in ActiveSubset mode.
+    TimestepController<T>* controller = nullptr;
+
+    WalkMode walkMode = WalkMode::Global;
+    /// Indices walked in ActiveSubset/LocalIndices modes (phase B fills the
+    /// active set itself when a controller is attached). In LocalIndices
+    /// mode these are the rank's owned particles; entries of ps beyond them
+    /// are ghosts.
+    std::vector<std::size_t> walkIndices{};
+
+    // --- outputs, harvested into StepReport/driver state by the runner ---
+    T maxVsignal{0};
+    T potentialEnergy{0};
+    unsigned hIterations = 0;
+    std::size_t neighborInteractions = 0;
+    std::size_t activeParticles = 0;
+    GravityStats gravityStats{};
+
+    /// Index span the SPH kernels iterate: empty means "all particles"
+    /// (the convention of computeDensity & friends).
+    std::span<const std::size_t> activeSpan() const
+    {
+        return walkMode == WalkMode::Global ? std::span<const std::size_t>{}
+                                            : std::span<const std::size_t>(walkIndices);
+    }
+
+    /// A distributed rank that owns no particles skips every phase body
+    /// (an empty ActiveSubset means "all", so only LocalIndices short-circuits).
+    bool skipEmptyLocal() const
+    {
+        return walkMode == WalkMode::LocalIndices && walkIndices.empty();
+    }
+};
+
+/// One runner-emitted phase timing event. The pipeline runner records these
+/// uniformly for every phase it executes — call sites no longer hand-insert
+/// Timer::lap() bookkeeping — and the tracer (perf/tracer.hpp) expands them
+/// into the Fig. 4 timeline.
+struct PhaseEvent
+{
+    int rank;
+    std::uint64_t step;
+    Phase phase;
+    double seconds;
+};
+
+/// Append-only log of runner-emitted phase events; attach one to a driver
+/// with attachPhaseLog() to trace its steps.
+class PhaseEventLog
+{
+public:
+    void beginStep(std::uint64_t step) { step_ = step; }
+
+    void record(int rank, Phase phase, double seconds)
+    {
+        events_.push_back({rank, step_, phase, seconds});
+    }
+
+    void clear() { events_.clear(); }
+    const std::vector<PhaseEvent>& events() const { return events_; }
+
+    /// Total recorded seconds (all ranks, all phases).
+    double totalSeconds() const
+    {
+        double s = 0;
+        for (const auto& e : events_)
+            s += e.seconds;
+        return s;
+    }
+
+    /// Aggregate the logged events into per-rank phase durations — the input
+    /// of expandTrace() (perf/tracer.hpp). Events of all logged steps are
+    /// summed; clear() between steps for a single-step view.
+    std::vector<std::array<double, phaseCount>> phaseSecondsByRank(int nRanks) const
+    {
+        std::vector<std::array<double, phaseCount>> out(nRanks);
+        for (auto& a : out)
+            a.fill(0.0);
+        for (const auto& e : events_)
+        {
+            if (e.rank >= 0 && e.rank < nRanks) out[e.rank][int(e.phase)] += e.seconds;
+        }
+        return out;
+    }
+
+private:
+    std::uint64_t step_ = 0;
+    std::vector<PhaseEvent> events_;
+};
+
+} // namespace sphexa

@@ -8,24 +8,30 @@
 /// code:
 ///   1. domain decomposition (ORB or SFC, Table 4) + particle migration
 ///   2. halo exchange with a 2 h_max margin
-///   3. per-rank Algorithm-1 phases A..H over local+ghost particles,
-///      with ghost-field refreshes after density/EOS and before momentum
+///   3. per-rank Algorithm-1 phases A..H through the SAME phase units the
+///      shared-memory driver runs (core/propagator.hpp), segment by
+///      segment; the ghost-field refreshes between segments come from the
+///      pipeline's declarative halo-sync specs
 ///   4. self-gravity via a replicated tree (positions/masses allgathered —
 ///      the communication is counted; see docs/DESIGN.md substitution notes)
 ///   5. global time-step reduction (allreduce-min), local update
 ///
-/// Per-rank phase wall times and per-rank communication traffic are
-/// recorded; they drive the POP metrics, the Fig. 4 trace, and the
-/// strong-scaling predictions of perf/cluster_sim.hpp.
+/// Only decomposition, migration, halo exchange and the global reductions
+/// live here; the phase bodies are the propagator's. Per-rank phase wall
+/// times are recorded uniformly by the pipeline runner (attach a
+/// PhaseEventLog to trace them); they drive the POP metrics, the Fig. 4
+/// trace, and the strong-scaling predictions of perf/cluster_sim.hpp.
 ///
 /// See docs/ARCHITECTURE.md for the stage-by-stage pipeline walk-through.
 
 #include <cmath>
 #include <cstdint>
+#include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/propagator.hpp"
 #include "core/simulation.hpp"
 #include "domain/box.hpp"
 #include "domain/halo.hpp"
@@ -95,6 +101,7 @@ public:
         , eos_(std::move(eos))
         , cfg_(std::move(cfg))
         , kernel_(cfg_.kernel, cfg_.sincExponent)
+        , pipeline_(PipelineFactory<T>::distributed(cfg_))
         , locals_(nRanks)
         , maps_(nRanks)
         , nLocal_(nRanks, 0)
@@ -119,6 +126,13 @@ public:
 
     std::size_t localCount(int rank) const { return nLocal_[rank]; }
 
+    /// The per-rank force pipeline (phases A..H in halo-synced segments).
+    const Propagator<T>& pipeline() const { return pipeline_; }
+
+    /// Attach a tracer log: the pipeline runner emits one PhaseEvent per
+    /// (rank, phase) into it (pass nullptr to detach).
+    void attachPhaseLog(PhaseEventLog* log) { log_ = log; }
+
     /// Advance one step (kick-drift-kick, matching the shared-memory
     /// driver); returns per-rank measurements.
     DistributedStepReport<T> advance()
@@ -126,6 +140,8 @@ public:
         DistributedStepReport<T> rep;
         rep.ranks.resize(comm_.size());
         comm_.resetTraffic();
+        // events carry the step id the returned report will have
+        if (log_) log_->beginStep(stepCount_ + 1);
 
         // phase J part 1: global dt from the current forces, then
         // first kick + drift on every rank
@@ -160,7 +176,9 @@ public:
         {
             Timer t;
             kickEnergy(locals_[r], dtStep, eos_.isIdealGas());
-            rep.ranks[r].phaseSeconds[int(Phase::J_TimestepUpdate)] = t.elapsed();
+            double sec = t.elapsed();
+            rep.ranks[r].phaseSeconds[int(Phase::J_TimestepUpdate)] = sec;
+            if (log_) log_->record(r, Phase::J_TimestepUpdate, sec);
         }
 
         time_ += dtStep;
@@ -214,15 +232,19 @@ public:
     }
 
 private:
-    /// Decomposition, migration, halo exchange and phases A..I; leaves every
-    /// rank with valid forces on its local particles (ghosts dropped).
+    /// Decomposition, migration, halo exchange and the per-rank force
+    /// pipeline; leaves every rank with valid forces on its local particles
+    /// (ghosts dropped). The phase bodies are the propagator's shared units;
+    /// this driver contributes only the glue between segments.
     void computeAllForces(DistributedStepReport<T>& rep)
     {
+        int P = comm_.size();
+
         // 1. decomposition + migration
         {
             Timer t;
             decomposeAndMigrate();
-            double sec = t.elapsed() / comm_.size();
+            double sec = t.elapsed() / P;
             for (auto& r : rep.ranks)
                 r.decompositionSeconds = sec;
         }
@@ -232,38 +254,49 @@ private:
             Timer t;
             T margin = haloMargin();
             exchangeHalos(comm_, locals_, maps_, box_, margin);
-            double sec = t.elapsed() / comm_.size();
+            double sec = t.elapsed() / P;
             for (auto& r : rep.ranks)
                 r.haloSeconds = sec;
         }
 
-        // 3. per-rank force computation (phases A..H). Ghost fields are
-        // refreshed at every cross-rank data dependency: IAD needs the
-        // neighbors' density-pass volumes, momentum needs their EOS + IAD
-        // outputs, and the AV limiter needs their Balsara value.
-        rankNl_.assign(comm_.size(), NeighborList<T>{});
-        rankLocalIdx_.assign(comm_.size(), std::vector<std::size_t>{});
-        rankVsig_.assign(comm_.size(), T(0));
-        for (int r = 0; r < comm_.size(); ++r)
+        // 3. per-rank force pipeline (phases A..H). One StepContext per
+        // rank over the shared phase units; the halo-sync specs at segment
+        // boundaries name the ghost fields each cross-rank data dependency
+        // needs refreshed.
+        rankTree_.resize(P);
+        rankNl_.resize(P);
+        rankVsig_.assign(P, T(0));
+        std::vector<StepContext<T>> ctxs;
+        ctxs.reserve(P);
+        for (int r = 0; r < P; ++r)
         {
-            phaseAtoE(r, rep.ranks[r]);
+            rankNl_[r].reset(locals_[r].size(), cfg_.ngmax);
+            ctxs.push_back(StepContext<T>{locals_[r], box_, cfg_, kernel_, eos_,
+                                          rankTree_[r], rankNl_[r]});
+            auto& ctx    = ctxs.back();
+            ctx.walkMode = WalkMode::LocalIndices;
+            ctx.walkIndices.resize(nLocal_[r]);
+            std::iota(ctx.walkIndices.begin(), ctx.walkIndices.end(), std::size_t(0));
+            rep.ranks[r].localParticles = nLocal_[r];
+            rep.ranks[r].ghostParticles = locals_[r].size() - nLocal_[r];
         }
-        refreshHaloFields(comm_, locals_, maps_, {"h", "rho", "vol", "gradh", "xmass"},
-                          nLocal_);
-        for (int r = 0; r < comm_.size(); ++r)
+        const auto& segments = pipeline_.segments();
+        for (std::size_t s = 0; s < segments.size(); ++s)
         {
-            phaseF(r, rep.ranks[r]);
+            for (int r = 0; r < P; ++r)
+            {
+                pipeline_.runSegment(s, ctxs[r], rep.ranks[r].phaseSeconds, log_, r);
+            }
+            if (!segments[s].haloFieldsAfter.empty())
+            {
+                refreshHaloFields(comm_, locals_, maps_, segments[s].haloFieldsAfter,
+                                  nLocal_);
+            }
         }
-        refreshHaloFields(comm_, locals_, maps_,
-                          {"p", "c", "c11", "c12", "c13", "c22", "c23", "c33"}, nLocal_);
-        for (int r = 0; r < comm_.size(); ++r)
+        for (int r = 0; r < P; ++r)
         {
-            phaseG(r, rep.ranks[r]);
-        }
-        refreshHaloFields(comm_, locals_, maps_, {"balsara", "divv", "curlv"}, nLocal_);
-        for (int r = 0; r < comm_.size(); ++r)
-        {
-            phaseH(r, rep.ranks[r]);
+            rankVsig_[r] = ctxs[r].maxVsignal;
+            rep.ranks[r].neighborInteractions = ctxs[r].neighborInteractions;
         }
         lastMaxVsig_ = comm_.allreduceMax<T>(std::span<const T>(rankVsig_));
 
@@ -404,116 +437,6 @@ private:
             nLocal_[r] = locals_[r].size();
     }
 
-    /// Phases A..E on one rank over local + ghost particles.
-    void phaseAtoE(int r, RankStepReport<T>& rrep)
-    {
-        auto& ps = locals_[r];
-        std::size_t nLoc = nLocal_[r];
-        rrep.localParticles = nLoc;
-        rrep.ghostParticles = ps.size() - nLoc;
-        if (nLoc == 0) return;
-
-        std::vector<std::size_t> localIdx(nLoc);
-        std::iota(localIdx.begin(), localIdx.end(), std::size_t(0));
-
-        Timer t;
-        // A: tree over local + ghosts
-        typename Octree<T>::BuildParams bp;
-        bp.leafSize      = cfg_.treeLeafSize;
-        bp.curve         = cfg_.sfcCurve;
-        bp.parallelBuild = cfg_.parallelTreeBuild;
-        rankTree_.resize(comm_.size());
-        auto& tree = rankTree_[r];
-        tree.build(ps.x, ps.y, ps.z, box_, bp);
-        rrep.phaseSeconds[int(Phase::A_TreeBuild)] = t.lap();
-
-        // B: neighbor search for local particles
-        NeighborList<T> nl(ps.size(), cfg_.ngmax);
-        findNeighborsIndividual(tree, ps.x, ps.y, ps.z, ps.h, localIdx, nl);
-        rrep.phaseSeconds[int(Phase::B_NeighborSearch)] = t.lap();
-
-        // C: h iteration for local particles (individual re-walks); the
-        // iteration cap matches SmoothingLengthParams::maxIterations so the
-        // shared-memory and distributed drivers follow identical h paths
-        for (unsigned it = 0; it < SmoothingLengthParams<T>{}.maxIterations; ++it)
-        {
-            std::vector<std::size_t> redo;
-            for (std::size_t i = 0; i < nLoc; ++i)
-            {
-                unsigned c = nl.count(i);
-                ps.nc[i]   = int(c);
-                if (!neighborCountConverged(c, cfg_.targetNeighbors,
-                                            cfg_.neighborTolerance))
-                {
-                    ps.h[i] = updateH(ps.h[i], c, cfg_.targetNeighbors);
-                    redo.push_back(i);
-                }
-            }
-            if (redo.empty()) break;
-            findNeighborsIndividual(tree, ps.x, ps.y, ps.z, ps.h, redo, nl);
-        }
-        rrep.phaseSeconds[int(Phase::C_SmoothingLength)] = t.lap();
-        rrep.phaseSeconds[int(Phase::D_NeighborSymmetrize)] = 0; // remote pairs via halo
-        std::size_t inter = 0;
-        for (std::size_t i = 0; i < nLoc; ++i)
-            inter += nl.count(i);
-        rrep.neighborInteractions = inter;
-
-        std::span<const std::size_t> act(localIdx);
-
-        // E: density for local
-        computeVolumeElementWeights(ps, cfg_.volumeElements, cfg_.veExponent);
-        computeDensity(ps, nl, kernel_, box_, act);
-        rrep.phaseSeconds[int(Phase::E_Density)] = t.lap();
-
-        rankNl_[r]       = std::move(nl);
-        rankLocalIdx_[r] = std::move(localIdx);
-    }
-
-    /// Phase F: EOS for local particles + IAD coefficients (ghost volumes
-    /// were refreshed after the density sweep).
-    void phaseF(int r, RankStepReport<T>& rrep)
-    {
-        auto& ps = locals_[r];
-        std::size_t nLoc = nLocal_[r];
-        if (nLoc == 0) return;
-        Timer t;
-        for (std::size_t i = 0; i < nLoc; ++i)
-        {
-            auto res = eos_(ps.rho[i], ps.u[i]);
-            ps.p[i]  = res.pressure;
-            ps.c[i]  = res.soundSpeed;
-        }
-        if (cfg_.gradients == GradientMode::IAD)
-        {
-            std::span<const std::size_t> act(rankLocalIdx_[r]);
-            computeIadCoefficients(ps, rankNl_[r], kernel_, box_, act);
-        }
-        rrep.phaseSeconds[int(Phase::F_EosAndIad)] = t.elapsed();
-    }
-
-    void phaseG(int r, RankStepReport<T>& rrep)
-    {
-        auto& ps = locals_[r];
-        if (nLocal_[r] == 0) return;
-        Timer t;
-        std::span<const std::size_t> act(rankLocalIdx_[r]);
-        computeDivCurl(ps, rankNl_[r], kernel_, box_, cfg_.gradients, act);
-        rrep.phaseSeconds[int(Phase::G_DivCurl)] = t.elapsed();
-    }
-
-    void phaseH(int r, RankStepReport<T>& rrep)
-    {
-        auto& ps = locals_[r];
-        if (nLocal_[r] == 0) return;
-        Timer t;
-        std::span<const std::size_t> act(rankLocalIdx_[r]);
-        auto stats = computeMomentumEnergy(ps, rankNl_[r], kernel_, box_, cfg_.gradients,
-                                           cfg_.av, act);
-        rankVsig_[r] = stats.maxVsignal;
-        rrep.phaseSeconds[int(Phase::H_MomentumEnergy)] = t.elapsed();
-    }
-
     /// Replicated-tree gravity: allgather (x,y,z,m), run Barnes-Hut per rank
     /// for its local targets.
     void accumulateGravityReplicated(DistributedStepReport<T>& rep)
@@ -554,9 +477,10 @@ private:
         T pot = solver.accumulate(rep_ps, &stats);
         potentialEnergy_ = pot;
         double sec = t.elapsed() / P;
-        for (auto& r : rep.ranks)
+        for (int r = 0; r < P; ++r)
         {
-            r.phaseSeconds[int(Phase::I_SelfGravity)] += sec;
+            rep.ranks[r].phaseSeconds[int(Phase::I_SelfGravity)] += sec;
+            if (log_) log_->record(r, Phase::I_SelfGravity, sec);
         }
 
         // scatter accelerations back to owners (same order as the gathers)
@@ -578,15 +502,16 @@ private:
     Eos<T> eos_;
     SimulationConfig<T> cfg_;
     Kernel<T> kernel_;
+    Propagator<T> pipeline_;
+    PhaseEventLog* log_{nullptr};
 
     std::vector<ParticleSet<T>> locals_;
     std::vector<HaloMap> maps_;
     std::vector<std::size_t> nLocal_;
 
-    // per-rank scratch between the phase sweeps
+    // per-rank scratch between the phase segments
     std::vector<Octree<T>> rankTree_;
     std::vector<NeighborList<T>> rankNl_;
-    std::vector<std::vector<std::size_t>> rankLocalIdx_;
     std::vector<T> rankVsig_;
 
     T time_{0};

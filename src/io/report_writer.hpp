@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file report_writer.hpp
+/// Per-step report printing, deduplicated out of the examples: a generic
+/// aligned-console / CSV numeric table (ReportTable) and a ready-made
+/// per-step row layout for StepReport + Conservation (StepReportWriter).
+/// For buffered CSV series written to files, see SeriesWriter
+/// (io/ascii_io.hpp); this header covers streaming console output.
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/step_context.hpp"
+#include "sph/conservation.hpp"
+
+namespace sphexa {
+
+/// A numeric table streamed row by row, as an aligned console table or CSV.
+/// Each column carries a header and a printf format for its values.
+class ReportTable
+{
+public:
+    enum class Style
+    {
+        Aligned, ///< fixed-width columns (console)
+        Csv,     ///< comma-separated (machine-readable)
+    };
+
+    struct Column
+    {
+        std::string header;
+        int width;          ///< Aligned style: min field width
+        std::string format; ///< printf spec for one double, e.g. "%12.4e"
+    };
+
+    explicit ReportTable(std::vector<Column> columns, Style style = Style::Aligned,
+                         std::FILE* out = stdout)
+        : columns_(std::move(columns)), style_(style), out_(out)
+    {
+    }
+
+    void printHeader() const
+    {
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+        {
+            if (style_ == Style::Csv)
+            {
+                std::fprintf(out_, "%s%s", c ? "," : "", columns_[c].header.c_str());
+            }
+            else
+            {
+                std::fprintf(out_, "%s%*s", c ? " " : "", columns_[c].width,
+                             columns_[c].header.c_str());
+            }
+        }
+        std::fprintf(out_, "\n");
+    }
+
+    void printRow(const std::vector<double>& values) const
+    {
+        if (values.size() != columns_.size())
+        {
+            throw std::invalid_argument("ReportTable: column count mismatch");
+        }
+        for (std::size_t c = 0; c < columns_.size(); ++c)
+        {
+            if (c) std::fprintf(out_, style_ == Style::Csv ? "," : " ");
+            std::fprintf(out_, columns_[c].format.c_str(), values[c]);
+        }
+        std::fprintf(out_, "\n");
+    }
+
+private:
+    std::vector<Column> columns_;
+    Style style_;
+    std::FILE* out_;
+};
+
+/// The canonical per-step diagnostics row used by the examples: step, dt,
+/// simulated time, and (optionally) the conservation snapshot.
+template<class T>
+class StepReportWriter
+{
+public:
+    explicit StepReportWriter(bool withConservation = true,
+                              ReportTable::Style style = ReportTable::Style::Aligned,
+                              std::FILE* out = stdout)
+        : withConservation_(withConservation), table_(makeColumns(withConservation), style, out)
+    {
+    }
+
+    void printHeader() const { table_.printHeader(); }
+
+    void printRow(const StepReport<T>& rep, const Conservation<T>* c = nullptr) const
+    {
+        std::vector<double> row{double(rep.step), double(rep.dt), double(rep.time)};
+        if (withConservation_)
+        {
+            if (!c)
+                throw std::invalid_argument("StepReportWriter: conservation row missing");
+            row.insert(row.end(),
+                       {double(c->kineticEnergy), double(c->internalEnergy),
+                        double(c->totalEnergy()), double(c->angularMomentum.z)});
+        }
+        table_.printRow(row);
+    }
+
+private:
+    static std::vector<ReportTable::Column> makeColumns(bool withConservation)
+    {
+        std::vector<ReportTable::Column> cols{{"step", 5, "%5.0f"},
+                                              {"dt", 12, "%12.4e"},
+                                              {"t", 12, "%12.6f"}};
+        if (withConservation)
+        {
+            cols.push_back({"Ekin", 12, "%12.6f"});
+            cols.push_back({"Eint", 12, "%12.6f"});
+            cols.push_back({"Etot", 12, "%12.6f"});
+            cols.push_back({"Lz", 12, "%12.6f"});
+        }
+        return cols;
+    }
+
+    bool withConservation_;
+    ReportTable table_;
+};
+
+} // namespace sphexa

@@ -11,6 +11,10 @@
 /// and the workflow phase letters A..J. The trace renders as an ASCII
 /// timeline (one row per rank/thread) and exports CSV; pop_metrics.hpp
 /// computes the POP efficiencies from the same intervals.
+///
+/// The phase durations come from the pipeline runner's PhaseEventLog
+/// (core/step_context.hpp): attach a log to a driver, run a step, and pass
+/// the log straight to expandTrace — no hand-recorded phase timings.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,7 +24,7 @@
 #include <string_view>
 #include <vector>
 
-#include "core/simulation.hpp"
+#include "core/step_context.hpp"
 
 namespace sphexa {
 
@@ -360,6 +364,18 @@ Tracer expandTrace(const std::vector<std::array<double, phaseCount>>& rankPhaseS
         }
     }
     return tracer;
+}
+
+/// Convenience overload: expand the runner-emitted phase events of an
+/// attached PhaseEventLog directly (clear() the log between steps for a
+/// single-step timeline).
+template<class T>
+Tracer expandTrace(const PhaseEventLog& log, int nRanks,
+                   const std::vector<double>& rankCommSeconds, int threadsPerRank,
+                   const PhaseParallelism& par)
+{
+    return expandTrace<T>(log.phaseSecondsByRank(nRanks), rankCommSeconds,
+                          threadsPerRank, par);
 }
 
 } // namespace sphexa

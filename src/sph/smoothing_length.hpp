@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 #include "sph/particles.hpp"
@@ -54,14 +55,27 @@ T updateH(T h, unsigned count, unsigned target)
 /// Iterate h and neighbor lists to convergence. The octree must already be
 /// built over current positions; it is reused (h changes don't move
 /// particles). On return, nl holds lists consistent with the final h.
+///
+/// With an empty \p subset, all particles are iterated and (unless
+/// \p reuseLists says the caller just filled nl for the current h) an
+/// initial global walk happens inside. A non-empty subset restricts the
+/// iteration to those indices (a distributed rank's owned particles) and
+/// always assumes current lists — both drivers then follow the exact same
+/// h path.
 template<class T>
-SmoothingLengthResult updateSmoothingLengths(ParticleSet<T>& ps, const Octree<T>& tree,
-                                             NeighborList<T>& nl,
-                                             const SmoothingLengthParams<T>& params = {})
+SmoothingLengthResult
+updateSmoothingLengths(ParticleSet<T>& ps, const Octree<T>& tree, NeighborList<T>& nl,
+                       const SmoothingLengthParams<T>& params = {},
+                       std::type_identity_t<std::span<const std::size_t>> subset = {},
+                       bool reuseLists = false)
 {
-    std::size_t n = ps.size();
-    findNeighborsGlobal(tree, std::span<const T>(ps.x), std::span<const T>(ps.y),
-                        std::span<const T>(ps.z), std::span<const T>(ps.h), nl);
+    std::size_t n = subset.empty() ? ps.size() : subset.size();
+    auto target   = [&](std::size_t k) { return subset.empty() ? k : subset[k]; };
+    if (subset.empty() && !reuseLists)
+    {
+        findNeighborsGlobal(tree, std::span<const T>(ps.x), std::span<const T>(ps.y),
+                            std::span<const T>(ps.z), std::span<const T>(ps.h), nl);
+    }
 
     SmoothingLengthResult res;
     std::vector<std::size_t> active;
@@ -70,8 +84,9 @@ SmoothingLengthResult updateSmoothingLengths(ParticleSet<T>& ps, const Octree<T>
     for (unsigned it = 0; it < params.maxIterations; ++it)
     {
         active.clear();
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < n; ++k)
         {
+            std::size_t i = target(k);
             unsigned c = nl.count(i);
             ps.nc[i]   = int(c);
             if (!neighborCountConverged(c, params.targetNeighbors, params.tolerance))
@@ -95,8 +110,9 @@ SmoothingLengthResult updateSmoothingLengths(ParticleSet<T>& ps, const Octree<T>
                                 nl);
     }
 
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k)
     {
+        std::size_t i = target(k);
         unsigned c = nl.count(i);
         ps.nc[i]   = int(c);
         if (!neighborCountConverged(c, params.targetNeighbors, params.tolerance))
