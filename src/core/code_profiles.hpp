@@ -42,6 +42,36 @@ constexpr std::string_view loadBalancingName(LoadBalancingStrategy s)
     return "?";
 }
 
+/// The per-phase ParallelFor schedule a Table 3/4 load-balancing row maps
+/// onto: the neighbor-bound SPH phases (E..H) carry the profile's
+/// self-scheduling character, the uniform loops stay STATIC.
+///  - "None (static)"            -> STATIC everywhere (SPHYNX)
+///  - "Dynamic"                  -> GSS, measurement-free decreasing chunks
+///                                  standing in for ChaNGa's rebalancing
+///  - "Local-Inner-Outer"        -> TSS, the linear taper matching SPH-flow's
+///                                  overlap-oriented local scheme
+///  - "DLB with self-scheduling" -> AWF, the adaptive factoring the SPH-EXA
+///                                  target names in Table 4
+constexpr PhaseSchedule phaseScheduleFor(LoadBalancingStrategy s)
+{
+    PhaseSchedule sched;
+    sched.fill(SchedulingStrategy::Static);
+    switch (s)
+    {
+        case LoadBalancingStrategy::StaticNone: break;
+        case LoadBalancingStrategy::Dynamic:
+            sched.fillSphPhases(SchedulingStrategy::Guided);
+            break;
+        case LoadBalancingStrategy::LocalInnerOuter:
+            sched.fillSphPhases(SchedulingStrategy::Trapezoid);
+            break;
+        case LoadBalancingStrategy::DlbSelfScheduling:
+            sched.fillSphPhases(SchedulingStrategy::AdaptiveWeightedFactoring);
+            break;
+    }
+    return sched;
+}
+
 /// One parent code (or the mini-app itself) as a named configuration.
 template<class T>
 struct CodeProfile
@@ -105,6 +135,7 @@ CodeProfile<T> sphynxProfile()
     p.gravityDesc             = "Multipoles (4-pole)";
     p.domainDecompositionDesc = "Straightforward";
     p.loadBalancing           = LoadBalancingStrategy::StaticNone;
+    p.config.phaseSchedule    = phaseScheduleFor(p.loadBalancing);
     p.language                = "Fortran 90,";
     p.parallelization         = "MPI+OpenMP";
     p.linesOfCode             = 25000;
@@ -138,6 +169,7 @@ CodeProfile<T> changaProfile()
     p.gravityDesc             = "Multipoles (16-pole)";
     p.domainDecompositionDesc = "Space Filling Curve";
     p.loadBalancing           = LoadBalancingStrategy::Dynamic;
+    p.config.phaseSchedule    = phaseScheduleFor(p.loadBalancing);
     p.language                = "C++";
     p.parallelization         = "MPI+OpenMP+CUDA";
     p.linesOfCode             = 110000;
@@ -173,6 +205,7 @@ CodeProfile<T> sphflowProfile()
     p.gravityDesc             = "No";
     p.domainDecompositionDesc = "Orthogonal Recursive Bisection";
     p.loadBalancing           = LoadBalancingStrategy::LocalInnerOuter;
+    p.config.phaseSchedule    = phaseScheduleFor(p.loadBalancing);
     p.language                = "Fortran 90";
     p.parallelization         = "MPI";
     p.linesOfCode             = 37000;
@@ -209,6 +242,7 @@ CodeProfile<T> sphexaProfile()
     p.gravityDesc             = "Multipoles (16-pole)";
     p.domainDecompositionDesc = "Orthogonal Recursive Bisection, Space Filling Curves";
     p.loadBalancing           = LoadBalancingStrategy::DlbSelfScheduling;
+    p.config.phaseSchedule    = phaseScheduleFor(p.loadBalancing);
     p.language                = "C++";
     p.parallelization         = "X+Y+Z: X={MPI} Y={OpenMP, HPX} Z={OpenACC, CUDA}";
     p.linesOfCode             = 0; // measured from this repository

@@ -6,9 +6,12 @@
 /// algorithm variants the driver executes; the parent-code emulation
 /// profiles (code_profiles.hpp) are simply named presets of this struct.
 
+#include <array>
 #include <cstddef>
 #include <string>
 
+#include "core/phases.hpp"
+#include "parallel/schedulers.hpp"
 #include "sph/density.hpp"
 #include "sph/iad.hpp"
 #include "sph/kernels.hpp"
@@ -54,6 +57,50 @@ constexpr std::string_view decompositionName(DecompositionMethod m)
     return "?";
 }
 
+/// Per-phase scheduling strategies for the ParallelFor hot loops (Table 4:
+/// "DLB with self-scheduling"): which self-scheduling rule each phase of
+/// Algorithm 1 runs under. The default maps the uniform per-particle loops
+/// (EOS, integrator, time-step) to STATIC and the neighbor-bound SPH sums
+/// (density, IAD, div/curl, momentum-energy) to FAC, whose decreasing
+/// batches absorb the per-particle cost spread of clustered neighborhoods
+/// at a fraction of pure self-scheduling's overhead. Chunk boundaries never
+/// affect results (the loops are accumulate-to-self), so any assignment is
+/// bitwise-equivalent — strategy choice is purely a load-balance knob.
+struct PhaseSchedule
+{
+    constexpr PhaseSchedule()
+    {
+        strategies.fill(SchedulingStrategy::Static);
+        for (Phase p : {Phase::E_Density, Phase::F_EosAndIad, Phase::G_DivCurl,
+                        Phase::H_MomentumEnergy})
+        {
+            strategies[std::size_t(p)] = SchedulingStrategy::Factoring;
+        }
+    }
+
+    /// One strategy for every phase (profile presets use this wholesale).
+    constexpr void fill(SchedulingStrategy s) { strategies.fill(s); }
+
+    /// One strategy for the neighbor-bound SPH phases E..H only, the hot
+    /// loops the scheduling ablation targets.
+    constexpr void fillSphPhases(SchedulingStrategy s)
+    {
+        for (Phase p : {Phase::E_Density, Phase::F_EosAndIad, Phase::G_DivCurl,
+                        Phase::H_MomentumEnergy})
+        {
+            strategies[std::size_t(p)] = s;
+        }
+    }
+
+    constexpr SchedulingStrategy& operator[](Phase p) { return strategies[std::size_t(p)]; }
+    constexpr SchedulingStrategy operator[](Phase p) const
+    {
+        return strategies[std::size_t(p)];
+    }
+
+    std::array<SchedulingStrategy, phaseCount> strategies{};
+};
+
 /// Scientific + computer-science feature selection for one simulation.
 template<class T>
 struct SimulationConfig
@@ -83,6 +130,8 @@ struct SimulationConfig
 
     // --- CS features (Table 4), used by the distributed driver ---
     DecompositionMethod decomposition = DecompositionMethod::SpaceFillingCurve;
+    /// Self-scheduling strategy of each phase's ParallelFor loops.
+    PhaseSchedule phaseSchedule{};
 };
 
 } // namespace sphexa

@@ -126,6 +126,7 @@ public:
         rep.activeParticles      = ctx.activeParticles;
         rep.hIterations          = ctx.hIterations;
         rep.gravityStats         = ctx.gravityStats;
+        rep.phaseLoad            = ctx.phaseLoad;
     }
 
 private:
@@ -196,7 +197,8 @@ PhaseOp<T> smoothingLength()
                 // LocalIndices mode), so the iteration never repeats the
                 // initial walk — one shared h path for both drivers
                 auto hres = updateSmoothingLengths(ctx.ps, ctx.tree, ctx.nl, hp,
-                                                   ctx.activeSpan(), /*reuseLists*/ true);
+                                                   ctx.activeSpan(), /*reuseLists*/ true,
+                                                   ctx.loopPolicy(Phase::C_SmoothingLength));
                 ctx.hIterations = hres.iterations;
             }};
 }
@@ -235,9 +237,15 @@ PhaseOp<T> density()
 {
     return {Phase::E_Density, [](StepContext<T>& ctx) {
                 if (ctx.skipEmptyLocal()) return;
+                auto pol = ctx.loopPolicy(Phase::E_Density);
+                // the near-free uniform VE loop must not adapt the AWF
+                // weights the neighbor-bound density sum is calibrated by —
+                // its noise-dominated rates would drag them off every step
+                LoopPolicy vePol = pol;
+                vePol.awfWeights = nullptr;
                 computeVolumeElementWeights(ctx.ps, ctx.cfg.volumeElements,
-                                            ctx.cfg.veExponent);
-                computeDensity(ctx.ps, ctx.nl, ctx.kernel, ctx.box, ctx.activeSpan());
+                                            ctx.cfg.veExponent, vePol);
+                computeDensity(ctx.ps, ctx.nl, ctx.kernel, ctx.box, ctx.activeSpan(), pol);
             }};
 }
 
@@ -248,18 +256,25 @@ PhaseOp<T> eosAndIad()
                 if (ctx.skipEmptyLocal()) return;
                 auto& ps  = ctx.ps;
                 auto act  = ctx.activeSpan();
+                auto pol  = ctx.loopPolicy(Phase::F_EosAndIad);
+                // the cheap EOS sweep runs weightless for the same reason
+                // as the VE loop of phase E: only the IAD sum below should
+                // drive the phase's AWF adaptation
+                LoopPolicy eosPol = pol;
+                eosPol.awfWeights = nullptr;
                 std::size_t count = act.empty() ? ps.size() : act.size();
-#pragma omp parallel for schedule(static)
-                for (std::size_t k = 0; k < count; ++k)
-                {
-                    std::size_t i = act.empty() ? k : act[k];
-                    auto res = ctx.eos(ps.rho[i], ps.u[i]);
-                    ps.p[i]  = res.pressure;
-                    ps.c[i]  = res.soundSpeed;
-                }
+                parallelFor(
+                    count,
+                    [&](std::size_t k, std::size_t) {
+                        std::size_t i = act.empty() ? k : act[k];
+                        auto res = ctx.eos(ps.rho[i], ps.u[i]);
+                        ps.p[i]  = res.pressure;
+                        ps.c[i]  = res.soundSpeed;
+                    },
+                    eosPol);
                 if (ctx.cfg.gradients == GradientMode::IAD)
                 {
-                    computeIadCoefficients(ps, ctx.nl, ctx.kernel, ctx.box, act);
+                    computeIadCoefficients(ps, ctx.nl, ctx.kernel, ctx.box, act, pol);
                 }
             }};
 }
@@ -270,7 +285,7 @@ PhaseOp<T> divCurl()
     return {Phase::G_DivCurl, [](StepContext<T>& ctx) {
                 if (ctx.skipEmptyLocal()) return;
                 computeDivCurl(ctx.ps, ctx.nl, ctx.kernel, ctx.box, ctx.cfg.gradients,
-                               ctx.activeSpan());
+                               ctx.activeSpan(), ctx.loopPolicy(Phase::G_DivCurl));
             }};
 }
 
@@ -281,7 +296,8 @@ PhaseOp<T> momentumEnergy()
                 if (ctx.skipEmptyLocal()) return;
                 auto stats = computeMomentumEnergy(ctx.ps, ctx.nl, ctx.kernel, ctx.box,
                                                    ctx.cfg.gradients, ctx.cfg.av,
-                                                   ctx.activeSpan());
+                                                   ctx.activeSpan(),
+                                                   ctx.loopPolicy(Phase::H_MomentumEnergy));
                 ctx.maxVsignal = stats.maxVsignal;
             }};
 }

@@ -72,6 +72,12 @@ public:
     /// The force pipeline this driver executes (phases A..I).
     const Propagator<T>& pipeline() const { return pipeline_; }
 
+    /// The persistent per-phase AWF weight store the step contexts share
+    /// (inspectable by tests and the scheduling ablation; reset() returns
+    /// every phase to equal weights).
+    AwfWeightStore& awfWeights() { return awf_; }
+    const AwfWeightStore& awfWeights() const { return awf_; }
+
     /// Replace the force pipeline (custom phase sequences; the default is
     /// PipelineFactory::singleRank(config)). Forces must be recomputed.
     void setPipeline(Propagator<T> pipeline)
@@ -136,10 +142,21 @@ public:
             log_ = saved;
         }
 
+        // phase J runs under the configured strategy like any hot loop; its
+        // busy times land in the report harvested from the force pass below
+        LoopPolicy jPolicy;
+        jPolicy.strategy = cfg_.phaseSchedule[Phase::J_TimestepUpdate];
+        if (jPolicy.strategy == SchedulingStrategy::AdaptiveWeightedFactoring)
+        {
+            jPolicy.awfWeights = &awf_.weightsFor(std::size_t(Phase::J_TimestepUpdate));
+        }
+        PhaseLoadStats jLoad;
+        jPolicy.stats = &jLoad;
+
         Timer t;
         // --- phase J (part 1): new time-step, first kick + drift ---
-        T dtStep = controller_.advance(ps_, maxVsignal_);
-        kickDrift(ps_, dtStep, box_);
+        T dtStep = controller_.advance(ps_, maxVsignal_, jPolicy);
+        kickDrift(ps_, dtStep, box_, jPolicy);
         double jTime = t.lap();
 
         // forces at the new positions (phases A..I), tagged with the step
@@ -148,12 +165,13 @@ public:
 
         // --- phase J (part 2): second kick + energy update ---
         t.reset();
-        kickEnergy(ps_, dtStep, eos_.isIdealGas());
+        kickEnergy(ps_, dtStep, eos_.isIdealGas(), jPolicy);
         time_ += dtStep;
         ++stepCount_;
         jTime += t.lap();
 
         rep.phaseSeconds[int(Phase::J_TimestepUpdate)] = jTime;
+        rep.phaseLoad[int(Phase::J_TimestepUpdate)]    = std::move(jLoad);
         if (log_) log_->record(0, Phase::J_TimestepUpdate, jTime);
         rep.dt   = dtStep;
         rep.time = time_;
@@ -195,6 +213,7 @@ private:
         StepContext<T> ctx{ps_, box_, cfg_, kernel_, eos_, tree_, nl_};
         ctx.gravity    = &gravity_;
         ctx.controller = &controller_;
+        ctx.awf        = &awf_; // AWF weights persist across the driver's steps
         bool subset    = cfg_.neighborMode == NeighborMode::IndividualTreeWalk &&
                       controller_.stepCount() > 0;
         ctx.walkMode = subset ? WalkMode::ActiveSubset : WalkMode::Global;
@@ -218,6 +237,7 @@ private:
     GravitySolver<T> gravity_;
     TimestepController<T> controller_;
     Propagator<T> pipeline_;
+    AwfWeightStore awf_; ///< per-phase AWF weights, adapted across steps
     PhaseEventLog* log_{nullptr};
 
     T time_{0};

@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/phases.hpp"
 #include "domain/box.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/eos.hpp"
 #include "sph/particles.hpp"
 #include "sph/timestep.hpp"
@@ -29,42 +31,6 @@
 #include "tree/octree.hpp"
 
 namespace sphexa {
-
-/// Workflow phases, lettered as in the paper's Fig. 4.
-enum class Phase : int
-{
-    A_TreeBuild = 0,
-    B_NeighborSearch,
-    C_SmoothingLength,
-    D_NeighborSymmetrize,
-    E_Density,
-    F_EosAndIad,
-    G_DivCurl,
-    H_MomentumEnergy,
-    I_SelfGravity,
-    J_TimestepUpdate,
-    Count
-};
-
-constexpr int phaseCount = int(Phase::Count);
-
-constexpr std::string_view phaseName(Phase p)
-{
-    switch (p)
-    {
-        case Phase::A_TreeBuild: return "A:tree-build";
-        case Phase::B_NeighborSearch: return "B:neighbor-search";
-        case Phase::C_SmoothingLength: return "C:smoothing-length";
-        case Phase::D_NeighborSymmetrize: return "D:neighbor-symmetrize";
-        case Phase::E_Density: return "E:density";
-        case Phase::F_EosAndIad: return "F:eos+iad";
-        case Phase::G_DivCurl: return "G:div-curl";
-        case Phase::H_MomentumEnergy: return "H:momentum-energy";
-        case Phase::I_SelfGravity: return "I:self-gravity";
-        case Phase::J_TimestepUpdate: return "J:timestep-update";
-        default: return "?";
-    }
-}
 
 /// Per-step report: timings and work counters, the raw material of the
 /// performance experiments.
@@ -79,6 +45,16 @@ struct StepReport
     std::size_t activeParticles = 0;
     GravityStats gravityStats{};
     unsigned hIterations = 0;
+
+    /// Measured per-worker busy times of each phase's ParallelFor loops —
+    /// the raw material of the per-phase POP load-balance metrics
+    /// (perf/pop_metrics.hpp). Empty for phases without ParallelFor loops
+    /// (tree build and neighbor search run their own OpenMP walks).
+    std::array<PhaseLoadStats, phaseCount> phaseLoad{};
+
+    /// POP load-balance efficiency of one phase: mean/max worker busy time
+    /// over the phase's ParallelFor executions (1.0 when unmeasured).
+    double phaseLoadBalance(Phase p) const { return phaseLoad[int(p)].loadBalance(); }
 
     double totalSeconds() const
     {
@@ -125,6 +101,13 @@ struct StepContext
     /// are ghosts.
     std::vector<std::size_t> walkIndices{};
 
+    /// Driver-owned persistent AWF weights (parallel/parallel_for.hpp).
+    /// The driver rebuilds its StepContext every force pass but points it
+    /// at the same store, so adapted weights carry across steps; a context
+    /// without a store (the fresh/default state) runs AWF from equal
+    /// weights every loop.
+    AwfWeightStore* awf = nullptr;
+
     // --- outputs, harvested into StepReport/driver state by the runner ---
     T maxVsignal{0};
     T potentialEnergy{0};
@@ -132,6 +115,23 @@ struct StepContext
     std::size_t neighborInteractions = 0;
     std::size_t activeParticles = 0;
     GravityStats gravityStats{};
+    std::array<PhaseLoadStats, phaseCount> phaseLoad{};
+
+    /// The LoopPolicy a phase's ParallelFor loops run under: strategy from
+    /// the config's per-phase schedule, persistent AWF weights from the
+    /// driver's store (when attached), busy-time accounting into this
+    /// context's phaseLoad slot.
+    LoopPolicy loopPolicy(Phase p)
+    {
+        LoopPolicy pol;
+        pol.strategy = cfg.phaseSchedule[p];
+        if (pol.strategy == SchedulingStrategy::AdaptiveWeightedFactoring && awf)
+        {
+            pol.awfWeights = &awf->weightsFor(std::size_t(p));
+        }
+        pol.stats = &phaseLoad[int(p)];
+        return pol;
+    }
 
     /// Index span the SPH kernels iterate: empty means "all particles"
     /// (the convention of computeDensity & friends).

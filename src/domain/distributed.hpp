@@ -50,6 +50,9 @@ template<class T>
 struct RankStepReport
 {
     std::array<double, phaseCount> phaseSeconds{};
+    /// Per-worker busy times of the rank's ParallelFor loops, by phase
+    /// (the intra-rank load-balance axis of the POP hierarchy).
+    std::array<PhaseLoadStats, phaseCount> phaseLoad{};
     double decompositionSeconds = 0;
     double haloSeconds = 0;
     std::size_t localParticles = 0;
@@ -163,9 +166,27 @@ public:
             dtStep = std::min(dtStep, cfg_.timestep.initialDt);
             firstStep_ = false;
         }
+        // phase J runs under the configured strategy on every rank, like
+        // the pipeline phases; drift + energy times join the rank's J slot
+        rankAwf_.resize(comm_.size());
+        std::vector<PhaseLoadStats> jLoad(comm_.size());
+        std::vector<double> jSeconds(comm_.size(), 0.0);
+        auto jPolicyFor = [&](int r) {
+            LoopPolicy pol;
+            pol.strategy = cfg_.phaseSchedule[Phase::J_TimestepUpdate];
+            if (pol.strategy == SchedulingStrategy::AdaptiveWeightedFactoring)
+            {
+                pol.awfWeights =
+                    &rankAwf_[r].weightsFor(std::size_t(Phase::J_TimestepUpdate));
+            }
+            pol.stats = &jLoad[r];
+            return pol;
+        };
         for (int r = 0; r < comm_.size(); ++r)
         {
-            kickDrift(locals_[r], dtStep, box_);
+            Timer t;
+            kickDrift(locals_[r], dtStep, box_, jPolicyFor(r));
+            jSeconds[r] = t.elapsed();
         }
 
         // forces at the new positions (decompose, halos, phases A..I)
@@ -175,10 +196,11 @@ public:
         for (int r = 0; r < comm_.size(); ++r)
         {
             Timer t;
-            kickEnergy(locals_[r], dtStep, eos_.isIdealGas());
-            double sec = t.elapsed();
-            rep.ranks[r].phaseSeconds[int(Phase::J_TimestepUpdate)] = sec;
-            if (log_) log_->record(r, Phase::J_TimestepUpdate, sec);
+            kickEnergy(locals_[r], dtStep, eos_.isIdealGas(), jPolicyFor(r));
+            jSeconds[r] += t.elapsed();
+            rep.ranks[r].phaseSeconds[int(Phase::J_TimestepUpdate)] = jSeconds[r];
+            rep.ranks[r].phaseLoad[int(Phase::J_TimestepUpdate)]    = std::move(jLoad[r]);
+            if (log_) log_->record(r, Phase::J_TimestepUpdate, jSeconds[r]);
         }
 
         time_ += dtStep;
@@ -266,6 +288,7 @@ private:
         rankTree_.resize(P);
         rankNl_.resize(P);
         rankVsig_.assign(P, T(0));
+        rankAwf_.resize(P);
         std::vector<StepContext<T>> ctxs;
         ctxs.reserve(P);
         for (int r = 0; r < P; ++r)
@@ -274,6 +297,7 @@ private:
             ctxs.push_back(StepContext<T>{locals_[r], box_, cfg_, kernel_, eos_,
                                           rankTree_[r], rankNl_[r]});
             auto& ctx    = ctxs.back();
+            ctx.awf      = &rankAwf_[r]; // per-rank AWF weights persist across steps
             ctx.walkMode = WalkMode::LocalIndices;
             ctx.walkIndices.resize(nLocal_[r]);
             std::iota(ctx.walkIndices.begin(), ctx.walkIndices.end(), std::size_t(0));
@@ -297,6 +321,7 @@ private:
         {
             rankVsig_[r] = ctxs[r].maxVsignal;
             rep.ranks[r].neighborInteractions = ctxs[r].neighborInteractions;
+            rep.ranks[r].phaseLoad            = ctxs[r].phaseLoad;
         }
         lastMaxVsig_ = comm_.allreduceMax<T>(std::span<const T>(rankVsig_));
 
@@ -513,6 +538,7 @@ private:
     std::vector<Octree<T>> rankTree_;
     std::vector<NeighborList<T>> rankNl_;
     std::vector<T> rankVsig_;
+    std::vector<AwfWeightStore> rankAwf_; ///< per-rank persistent AWF weights
 
     T time_{0};
     std::uint64_t stepCount_{0};

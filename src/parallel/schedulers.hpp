@@ -20,8 +20,10 @@
 /// chunkSequence() is the pure chunking rule (unit-testable against the
 /// published sequences); LoopScheduler is the thread-safe work queue used in
 /// parallel loops; executeLoop() is a measurement harness that runs a loop
-/// under a strategy and reports per-worker busy times for the scheduling
-/// ablation (bench_schedulers).
+/// under a strategy and reports per-worker busy times for the synthetic
+/// scheduling ablation (bench_schedulers). The production SPH loops drain
+/// the same LoopScheduler through the persistent worker pool of
+/// parallel/parallel_for.hpp.
 
 #include <atomic>
 #include <cmath>
@@ -287,8 +289,9 @@ struct LoopExecutionReport
 };
 
 /// Run body(i) for i in [0, n) on \p workers std::threads under the given
-/// strategy, measuring per-worker busy time. The harness of the scheduling
-/// ablation; the production SPH loops use OpenMP directly.
+/// strategy, measuring per-worker busy time. The harness of the synthetic
+/// scheduling ablation only — it spawns fresh threads per call; production
+/// loops go through parallelFor() and its persistent WorkerPool instead.
 inline LoopExecutionReport executeLoop(std::size_t n, std::size_t workers,
                                        SchedulingStrategy strategy,
                                        const std::function<void(std::size_t)>& body,

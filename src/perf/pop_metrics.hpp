@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "perf/tracer.hpp"
 
 namespace sphexa {
@@ -58,6 +59,20 @@ inline PopMetrics computePopMetrics(std::span<const double> usefulSeconds, doubl
     m.parallelEfficiency      = avg / runtime;
     m.globalEfficiency        = m.parallelEfficiency;
     return m;
+}
+
+/// Metrics from one phase's measured ParallelFor executions (the in-situ
+/// shared-memory lanes): per-worker busy time is the useful time, the
+/// summed loop wall time is the runtime. This is how a StepReport's
+/// phaseLoad entries become POP numbers — the real-solver counterpart of
+/// the synthetic executeLoop() ablation.
+inline PopMetrics computePopMetrics(const PhaseLoadStats& stats)
+{
+    if (stats.workerBusySeconds.empty() || stats.wallSeconds <= 0)
+    {
+        throw std::invalid_argument("computePopMetrics: phase has no measurements");
+    }
+    return computePopMetrics(stats.workerBusySeconds, stats.wallSeconds);
 }
 
 /// Metrics straight from a trace (useful time per rank/thread lane).

@@ -12,8 +12,10 @@
 
 #include <cmath>
 #include <ostream>
+#include <vector>
 
 #include "math/vec.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/particles.hpp"
 
 namespace sphexa {
@@ -44,36 +46,53 @@ struct Conservation
 template<class T>
 Conservation<T> computeConservation(const ParticleSet<T>& ps, T potentialEnergy = T(0))
 {
-    std::size_t n = ps.size();
-    T mass = 0, ekin = 0, eint = 0;
-    T px = 0, py = 0, pz = 0;
-    T lx = 0, ly = 0, lz = 0;
-
-#pragma omp parallel for schedule(static) \
-    reduction(+ : mass, ekin, eint, px, py, pz, lx, ly, lz)
-    for (std::size_t i = 0; i < n; ++i)
+    struct alignas(64) Partial
     {
+        T mass = 0, ekin = 0, eint = 0;
+        T px = 0, py = 0, pz = 0;
+        T lx = 0, ly = 0, lz = 0;
+    };
+    // per-worker cache-aligned partial sums, combined in worker order below
+    // (same summation structure as the former OpenMP `reduction(+ : ...)`)
+    std::vector<Partial> partials(parallelForWorkers());
+
+    parallelFor(ps.size(), [&](std::size_t i, std::size_t worker) {
+        Partial& acc = partials[worker];
         T m = ps.m[i];
-        mass += m;
+        acc.mass += m;
         Vec3<T> v{ps.vx[i], ps.vy[i], ps.vz[i]};
         Vec3<T> r{ps.x[i], ps.y[i], ps.z[i]};
-        ekin += T(0.5) * m * norm2(v);
-        eint += m * ps.u[i];
-        px += m * v.x;
-        py += m * v.y;
-        pz += m * v.z;
+        acc.ekin += T(0.5) * m * norm2(v);
+        acc.eint += m * ps.u[i];
+        acc.px += m * v.x;
+        acc.py += m * v.y;
+        acc.pz += m * v.z;
         Vec3<T> L = cross(r, v) * m;
-        lx += L.x;
-        ly += L.y;
-        lz += L.z;
+        acc.lx += L.x;
+        acc.ly += L.y;
+        acc.lz += L.z;
+    });
+
+    Partial sum;
+    for (const Partial& p : partials)
+    {
+        sum.mass += p.mass;
+        sum.ekin += p.ekin;
+        sum.eint += p.eint;
+        sum.px += p.px;
+        sum.py += p.py;
+        sum.pz += p.pz;
+        sum.lx += p.lx;
+        sum.ly += p.ly;
+        sum.lz += p.lz;
     }
 
     Conservation<T> c;
-    c.mass            = mass;
-    c.momentum        = {px, py, pz};
-    c.angularMomentum = {lx, ly, lz};
-    c.kineticEnergy   = ekin;
-    c.internalEnergy  = eint;
+    c.mass            = sum.mass;
+    c.momentum        = {sum.px, sum.py, sum.pz};
+    c.angularMomentum = {sum.lx, sum.ly, sum.lz};
+    c.kineticEnergy   = sum.ekin;
+    c.internalEnergy  = sum.eint;
     c.potentialEnergy = potentialEnergy;
     return c;
 }

@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "domain/box.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/kernels.hpp"
 #include "sph/particles.hpp"
 #include "tree/neighbors.hpp"
@@ -44,21 +45,22 @@ constexpr std::string_view volumeElementsName(VolumeElements ve)
 /// form the previous density estimate is used; on the very first call
 /// (rho == 0) it falls back to the standard weights.
 template<class T>
-void computeVolumeElementWeights(ParticleSet<T>& ps, VolumeElements ve, T exponent = T(0.9))
+void computeVolumeElementWeights(ParticleSet<T>& ps, VolumeElements ve, T exponent = T(0.9),
+                                 const LoopPolicy& policy = {})
 {
-    std::size_t n = ps.size();
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < n; ++i)
-    {
-        if (ve == VolumeElements::Standard || ps.rho[i] <= T(0))
-        {
-            ps.xmass[i] = ps.m[i];
-        }
-        else
-        {
-            ps.xmass[i] = std::pow(ps.m[i] / ps.rho[i], exponent);
-        }
-    }
+    parallelFor(
+        ps.size(),
+        [&](std::size_t i, std::size_t) {
+            if (ve == VolumeElements::Standard || ps.rho[i] <= T(0))
+            {
+                ps.xmass[i] = ps.m[i];
+            }
+            else
+            {
+                ps.xmass[i] = std::pow(ps.m[i] / ps.rho[i], exponent);
+            }
+        },
+        policy);
 }
 
 /// Density summation (step 3 of Algorithm 1, first SPH kernel).
@@ -68,38 +70,40 @@ void computeVolumeElementWeights(ParticleSet<T>& ps, VolumeElements ve, T expone
 template<class T, class KernelT>
 void computeDensity(ParticleSet<T>& ps, const NeighborList<T>& nl, const KernelT& kernel,
                     const Box<T>& box,
-                    std::type_identity_t<std::span<const std::size_t>> active = {})
+                    std::type_identity_t<std::span<const std::size_t>> active = {},
+                    const LoopPolicy& policy = {})
 {
     std::size_t count = active.empty() ? ps.size() : active.size();
-#pragma omp parallel for schedule(dynamic, 64)
-    for (std::size_t idx = 0; idx < count; ++idx)
-    {
-        std::size_t i = active.empty() ? idx : active[idx];
-        T hi  = ps.h[i];
-        Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
+    parallelFor(
+        count,
+        [&](std::size_t idx, std::size_t) {
+            std::size_t i = active.empty() ? idx : active[idx];
+            T hi  = ps.h[i];
+            Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
 
-        // self contribution
-        T kx   = ps.xmass[i] * kernel.value(T(0), hi);
-        T dkxh = ps.xmass[i] * kernel.dh(T(0), hi);
+            // self contribution
+            T kx   = ps.xmass[i] * kernel.value(T(0), hi);
+            T dkxh = ps.xmass[i] * kernel.dh(T(0), hi);
 
-        for (auto j : nl.neighbors(i))
-        {
-            Vec3<T> d = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
-            T r = norm(d);
-            kx += ps.xmass[j] * kernel.value(r, hi);
-            dkxh += ps.xmass[j] * kernel.dh(r, hi);
-        }
+            for (auto j : nl.neighbors(i))
+            {
+                Vec3<T> d = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
+                T r = norm(d);
+                kx += ps.xmass[j] * kernel.value(r, hi);
+                dkxh += ps.xmass[j] * kernel.dh(r, hi);
+            }
 
-        ps.vol[i] = ps.xmass[i] / kx;
-        ps.rho[i] = ps.m[i] * kx / ps.xmass[i];
-        // Omega_a = 1 + h/(3 kx) * d(kx)/dh
-        ps.gradh[i] = T(1) + hi / (T(3) * kx) * dkxh;
-        // guard against pathological neighbor geometry
-        if (!(ps.gradh[i] > T(0.1)) || !(ps.gradh[i] < T(10)))
-        {
-            ps.gradh[i] = T(1);
-        }
-    }
+            ps.vol[i] = ps.xmass[i] / kx;
+            ps.rho[i] = ps.m[i] * kx / ps.xmass[i];
+            // Omega_a = 1 + h/(3 kx) * d(kx)/dh
+            ps.gradh[i] = T(1) + hi / (T(3) * kx) * dkxh;
+            // guard against pathological neighbor geometry
+            if (!(ps.gradh[i] > T(0.1)) || !(ps.gradh[i] < T(10)))
+            {
+                ps.gradh[i] = T(1);
+            }
+        },
+        policy);
 }
 
 } // namespace sphexa

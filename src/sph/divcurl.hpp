@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "domain/box.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/iad.hpp"
 #include "sph/kernels.hpp"
 #include "sph/particles.hpp"
@@ -27,44 +28,46 @@ namespace sphexa {
 template<class T, class KernelT>
 void computeDivCurl(ParticleSet<T>& ps, const NeighborList<T>& nl, const KernelT& kernel,
                     const Box<T>& box, GradientMode mode,
-                    std::type_identity_t<std::span<const std::size_t>> active = {})
+                    std::type_identity_t<std::span<const std::size_t>> active = {},
+                    const LoopPolicy& policy = {})
 {
     std::size_t count = active.empty() ? ps.size() : active.size();
-#pragma omp parallel for schedule(dynamic, 64)
-    for (std::size_t idx = 0; idx < count; ++idx)
-    {
-        std::size_t i = active.empty() ? idx : active[idx];
-        Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
-        Vec3<T> vi{ps.vx[i], ps.vy[i], ps.vz[i]};
-        T div = T(0);
-        Vec3<T> curl{};
+    parallelFor(
+        count,
+        [&](std::size_t idx, std::size_t) {
+            std::size_t i = active.empty() ? idx : active[idx];
+            Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
+            Vec3<T> vi{ps.vx[i], ps.vy[i], ps.vz[i]};
+            T div = T(0);
+            Vec3<T> curl{};
 
-        for (auto j : nl.neighbors(i))
-        {
-            Vec3<T> rab = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
-            T r = norm(rab);
-            Vec3<T> gw;
-            if (mode == GradientMode::IAD)
+            for (auto j : nl.neighbors(i))
             {
-                gw = iadGradient(ps, i, -rab, r, kernel);
+                Vec3<T> rab = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
+                T r = norm(rab);
+                Vec3<T> gw;
+                if (mode == GradientMode::IAD)
+                {
+                    gw = iadGradient(ps, i, -rab, r, kernel);
+                }
+                else
+                {
+                    if (r <= T(0)) continue;
+                    gw = rab * (kernel.derivative(r, ps.h[i]) / r);
+                }
+                Vec3<T> vab = vi - Vec3<T>{ps.vx[j], ps.vy[j], ps.vz[j]};
+                T Vb = ps.vol[j];
+                // div v = -sum_b V_b v_ab . grad W ; curl v = +sum_b V_b v_ab x grad W
+                div -= Vb * dot(vab, gw);
+                curl += Vb * cross(vab, gw);
             }
-            else
-            {
-                if (r <= T(0)) continue;
-                gw = rab * (kernel.derivative(r, ps.h[i]) / r);
-            }
-            Vec3<T> vab = vi - Vec3<T>{ps.vx[j], ps.vy[j], ps.vz[j]};
-            T Vb = ps.vol[j];
-            // div v = -sum_b V_b v_ab . grad W ; curl v = +sum_b V_b v_ab x grad W
-            div -= Vb * dot(vab, gw);
-            curl += Vb * cross(vab, gw);
-        }
 
-        ps.divv[i]  = div;
-        ps.curlv[i] = norm(curl);
-        T denom = std::abs(div) + ps.curlv[i] + T(1e-4) * ps.c[i] / ps.h[i];
-        ps.balsara[i] = denom > T(0) ? std::abs(div) / denom : T(1);
-    }
+            ps.divv[i]  = div;
+            ps.curlv[i] = norm(curl);
+            T denom = std::abs(div) + ps.curlv[i] + T(1e-4) * ps.c[i] / ps.h[i];
+            ps.balsara[i] = denom > T(0) ? std::abs(div) / denom : T(1);
+        },
+        policy);
 }
 
 } // namespace sphexa

@@ -18,6 +18,7 @@
 
 #include "domain/box.hpp"
 #include "math/matrix3.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/kernels.hpp"
 #include "sph/particles.hpp"
 #include "tree/neighbors.hpp"
@@ -41,34 +42,36 @@ constexpr std::string_view gradientModeName(GradientMode g)
 template<class T, class KernelT>
 void computeIadCoefficients(ParticleSet<T>& ps, const NeighborList<T>& nl,
                             const KernelT& kernel, const Box<T>& box,
-                            std::type_identity_t<std::span<const std::size_t>> active = {})
+                            std::type_identity_t<std::span<const std::size_t>> active = {},
+                            const LoopPolicy& policy = {})
 {
     std::size_t count = active.empty() ? ps.size() : active.size();
-#pragma omp parallel for schedule(dynamic, 64)
-    for (std::size_t idx = 0; idx < count; ++idx)
-    {
-        std::size_t i = active.empty() ? idx : active[idx];
-        T hi = ps.h[i];
-        Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
-        SymMat3<T> tau;
+    parallelFor(
+        count,
+        [&](std::size_t idx, std::size_t) {
+            std::size_t i = active.empty() ? idx : active[idx];
+            T hi = ps.h[i];
+            Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
+            SymMat3<T> tau;
 
-        for (auto j : nl.neighbors(i))
-        {
-            // r_b - r_a, minimum image
-            Vec3<T> rba = -box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
-            T r = norm(rba);
-            T w = kernel.value(r, hi);
-            tau.addOuter(rba, ps.vol[j] * w);
-        }
+            for (auto j : nl.neighbors(i))
+            {
+                // r_b - r_a, minimum image
+                Vec3<T> rba = -box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
+                T r = norm(rba);
+                T w = kernel.value(r, hi);
+                tau.addOuter(rba, ps.vol[j] * w);
+            }
 
-        SymMat3<T> c = tau.inverse();
-        ps.c11[i] = c.xx;
-        ps.c12[i] = c.xy;
-        ps.c13[i] = c.xz;
-        ps.c22[i] = c.yy;
-        ps.c23[i] = c.yz;
-        ps.c33[i] = c.zz;
-    }
+            SymMat3<T> c = tau.inverse();
+            ps.c11[i] = c.xx;
+            ps.c12[i] = c.xy;
+            ps.c13[i] = c.xz;
+            ps.c22[i] = c.yy;
+            ps.c23[i] = c.yz;
+            ps.c33[i] = c.zz;
+        },
+        policy);
 }
 
 /// IAD kernel-gradient replacement A_ab(h_a) = C(a) . (r_b - r_a) W_ab(h_a).

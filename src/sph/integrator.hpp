@@ -11,30 +11,32 @@
 #include <span>
 
 #include "domain/box.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/particles.hpp"
 
 namespace sphexa {
 
 /// First kick: v^{n+1/2} = v^n + a^n dt/2, then drift x^{n+1} = x^n + v^{n+1/2} dt.
 template<class T>
-void kickDrift(ParticleSet<T>& ps, T dtStep, const Box<T>& box)
+void kickDrift(ParticleSet<T>& ps, T dtStep, const Box<T>& box,
+               const LoopPolicy& policy = {})
 {
-    std::size_t n = ps.size();
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < n; ++i)
-    {
-        T half = T(0.5) * dtStep;
-        ps.vx[i] += ps.ax[i] * half;
-        ps.vy[i] += ps.ay[i] * half;
-        ps.vz[i] += ps.az[i] * half;
+    parallelFor(
+        ps.size(),
+        [&](std::size_t i, std::size_t) {
+            T half = T(0.5) * dtStep;
+            ps.vx[i] += ps.ax[i] * half;
+            ps.vy[i] += ps.ay[i] * half;
+            ps.vz[i] += ps.az[i] * half;
 
-        Vec3<T> p{ps.x[i] + ps.vx[i] * dtStep, ps.y[i] + ps.vy[i] * dtStep,
-                  ps.z[i] + ps.vz[i] * dtStep};
-        p = box.wrap(p);
-        ps.x[i] = p.x;
-        ps.y[i] = p.y;
-        ps.z[i] = p.z;
-    }
+            Vec3<T> p{ps.x[i] + ps.vx[i] * dtStep, ps.y[i] + ps.vy[i] * dtStep,
+                      ps.z[i] + ps.vz[i] * dtStep};
+            p = box.wrap(p);
+            ps.x[i] = p.x;
+            ps.y[i] = p.y;
+            ps.z[i] = p.z;
+        },
+        policy);
 }
 
 /// Second kick: v^{n+1} = v^{n+1/2} + a^{n+1} dt/2; energy trapezoid:
@@ -46,21 +48,22 @@ void kickDrift(ParticleSet<T>& ps, T dtStep, const Box<T>& box)
 /// the reference state and legitimately goes negative — flooring it there
 /// silently injects energy.
 template<class T>
-void kickEnergy(ParticleSet<T>& ps, T dtStep, bool enforcePositiveU = true)
+void kickEnergy(ParticleSet<T>& ps, T dtStep, bool enforcePositiveU = true,
+                const LoopPolicy& policy = {})
 {
-    std::size_t n = ps.size();
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < n; ++i)
-    {
-        T half = T(0.5) * dtStep;
-        ps.vx[i] += ps.ax[i] * half;
-        ps.vy[i] += ps.ay[i] * half;
-        ps.vz[i] += ps.az[i] * half;
+    parallelFor(
+        ps.size(),
+        [&](std::size_t i, std::size_t) {
+            T half = T(0.5) * dtStep;
+            ps.vx[i] += ps.ax[i] * half;
+            ps.vy[i] += ps.ay[i] * half;
+            ps.vz[i] += ps.az[i] * half;
 
-        ps.u[i] += T(0.5) * (ps.du[i] + ps.du_m1[i]) * dtStep;
-        if (enforcePositiveU && ps.u[i] < T(0)) ps.u[i] = T(1e-30);
-        ps.du_m1[i] = ps.du[i];
-    }
+            ps.u[i] += T(0.5) * (ps.du[i] + ps.du_m1[i]) * dtStep;
+            if (enforcePositiveU && ps.u[i] < T(0)) ps.u[i] = T(1e-30);
+            ps.du_m1[i] = ps.du[i];
+        },
+        policy);
 }
 
 } // namespace sphexa

@@ -17,11 +17,14 @@
 /// exact pairwise antisymmetry (and therefore momentum conservation) holds
 /// when neighbor lists are pair-symmetric (see symmetrizeNeighborList).
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "domain/box.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/iad.hpp"
 #include "sph/kernels.hpp"
 #include "sph/particles.hpp"
@@ -53,14 +56,20 @@ MomentumEnergyStats<T> computeMomentumEnergy(ParticleSet<T>& ps, const NeighborL
                                              const KernelT& kernel, const Box<T>& box,
                                              GradientMode mode,
                                              const ArtificialViscosity<T>& av = {},
-                                             std::type_identity_t<std::span<const std::size_t>> active = {})
+                                             std::type_identity_t<std::span<const std::size_t>> active = {},
+                                             const LoopPolicy& policy = {})
 {
     std::size_t count = active.empty() ? ps.size() : active.size();
-    T maxVsig = T(0);
 
-#pragma omp parallel for schedule(dynamic, 64) reduction(max : maxVsig)
-    for (std::size_t idx = 0; idx < count; ++idx)
-    {
+    // exact max reduction over per-worker partials: max is selection, not
+    // accumulation, so the result is bitwise identical for any pool size,
+    // strategy, or chunk boundary
+    std::vector<WorkerSlot<T>> workerVsig(parallelForWorkers());
+
+    parallelFor(
+        count,
+        [&](std::size_t idx, std::size_t worker) {
+        T maxVsig = workerVsig[worker].value;
         std::size_t i = active.empty() ? idx : active[idx];
         Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
         Vec3<T> vi{ps.vx[i], ps.vy[i], ps.vz[i]};
@@ -130,8 +139,13 @@ MomentumEnergyStats<T> computeMomentumEnergy(ParticleSet<T>& ps, const NeighborL
         ps.ay[i] = acc.y;
         ps.az[i] = acc.z;
         ps.du[i] = du;
-    }
+        workerVsig[worker].value = maxVsig;
+        },
+        policy);
 
+    T maxVsig = T(0);
+    for (const auto& v : workerVsig)
+        maxVsig = std::max(maxVsig, v.value);
     return {maxVsig};
 }
 

@@ -15,6 +15,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "sph/particles.hpp"
 #include "tree/neighbors.hpp"
 #include "tree/octree.hpp"
@@ -67,7 +68,7 @@ SmoothingLengthResult
 updateSmoothingLengths(ParticleSet<T>& ps, const Octree<T>& tree, NeighborList<T>& nl,
                        const SmoothingLengthParams<T>& params = {},
                        std::type_identity_t<std::span<const std::size_t>> subset = {},
-                       bool reuseLists = false)
+                       bool reuseLists = false, const LoopPolicy& policy = {})
 {
     std::size_t n = subset.empty() ? ps.size() : subset.size();
     auto target   = [&](std::size_t k) { return subset.empty() ? k : subset[k]; };
@@ -97,13 +98,14 @@ updateSmoothingLengths(ParticleSet<T>& ps, const Octree<T>& tree, NeighborList<T
         if (active.empty()) break;
 
         ++res.iterations;
-#pragma omp parallel for schedule(static)
-        for (std::size_t a = 0; a < active.size(); ++a)
-        {
-            std::size_t i = active[a];
-            ps.h[i] = std::max(params.minH,
-                               updateH(ps.h[i], nl.count(i), params.targetNeighbors));
-        }
+        parallelFor(
+            active.size(),
+            [&](std::size_t a, std::size_t) {
+                std::size_t i = active[a];
+                ps.h[i] = std::max(params.minH,
+                                   updateH(ps.h[i], nl.count(i), params.targetNeighbors));
+            },
+            policy);
 
         findNeighborsIndividual(tree, std::span<const T>(ps.x), std::span<const T>(ps.y),
                                 std::span<const T>(ps.z), std::span<const T>(ps.h), active,

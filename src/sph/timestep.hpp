@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "sph/particles.hpp"
 
 namespace sphexa {
@@ -79,18 +80,25 @@ public:
     /// Evaluate per-particle time-steps and derive the next global step.
     /// \p maxVsignal is the maximum signal velocity from the force pass.
     /// Returns the Delta t to advance the system by.
-    T advance(ParticleSet<T>& ps, T maxVsignal)
+    T advance(ParticleSet<T>& ps, T maxVsignal, const LoopPolicy& policy = {})
     {
         std::size_t n = ps.size();
-        T dtMin = par_.maxDt;
 
-#pragma omp parallel for schedule(static) reduction(min : dtMin)
-        for (std::size_t i = 0; i < n; ++i)
-        {
-            T dti = particleTimestep(ps, i, maxVsignal, par_);
-            ps.dt[i] = dti;
-            dtMin = std::min(dtMin, dti);
-        }
+        // exact min reduction over per-worker partials (selection, not
+        // accumulation: bitwise stable for any pool size or chunking)
+        std::vector<WorkerSlot<T>> workerMin(parallelForWorkers(),
+                                             WorkerSlot<T>{par_.maxDt});
+        parallelFor(
+            n,
+            [&](std::size_t i, std::size_t worker) {
+                T dti = particleTimestep(ps, i, maxVsignal, par_);
+                ps.dt[i] = dti;
+                workerMin[worker].value = std::min(workerMin[worker].value, dti);
+            },
+            policy);
+        T dtMin = par_.maxDt;
+        for (const auto& v : workerMin)
+            dtMin = std::min(dtMin, v.value);
         if (firstStep_)
         {
             firstStep_ = false;
@@ -115,18 +123,19 @@ public:
                 // bin particles: bin k holds particles with dt in
                 // [dtMin 2^k, dtMin 2^(k+1))
                 baseDt_ = dtMin;
-#pragma omp parallel for schedule(static)
-                for (std::size_t i = 0; i < n; ++i)
-                {
-                    int k = 0;
-                    T scaled = ps.dt[i] / baseDt_;
-                    while (k < par_.maxBins && scaled >= T(2))
-                    {
-                        scaled /= T(2);
-                        ++k;
-                    }
-                    ps.bin[i] = k;
-                }
+                parallelFor(
+                    n,
+                    [&](std::size_t i, std::size_t) {
+                        int k = 0;
+                        T scaled = ps.dt[i] / baseDt_;
+                        while (k < par_.maxBins && scaled >= T(2))
+                        {
+                            scaled /= T(2);
+                            ++k;
+                        }
+                        ps.bin[i] = k;
+                    },
+                    policy);
                 current_ = baseDt_; // system advances by the smallest bin
                 break;
             }

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <thread>
 
+#include "math/rng.hpp"
 #include "parallel/schedulers.hpp"
 
 using namespace sphexa;
@@ -101,6 +102,57 @@ INSTANTIATE_TEST_SUITE_P(
                                          SchedulingStrategy::Trapezoid,
                                          SchedulingStrategy::Factoring,
                                          SchedulingStrategy::AdaptiveWeightedFactoring)));
+
+// --- randomized chunkSequence properties -----------------------------------
+//
+// For 200 seeded-random (N, P) pairs and every strategy: the chunks
+// partition the iteration space exactly (sum to N, all strictly positive),
+// and the decreasing-chunk strategies (GSS, TSS, FAC) hand out
+// non-increasing sizes — the property their published rules guarantee.
+
+TEST(ChunkSequenceProperty, RandomizedPairsPartitionExactly)
+{
+    Xoshiro256pp rng(20180918); // CLUSTER'18 vintage seed
+    for (int trial = 0; trial < 200; ++trial)
+    {
+        std::size_t n = 1 + rng() % 50000;
+        std::size_t p = 1 + rng() % 64;
+        for (auto s : {SchedulingStrategy::Static, SchedulingStrategy::SelfScheduling,
+                       SchedulingStrategy::Guided, SchedulingStrategy::Trapezoid,
+                       SchedulingStrategy::Factoring,
+                       SchedulingStrategy::AdaptiveWeightedFactoring})
+        {
+            auto c = chunkSequence(n, p, s);
+            std::size_t sum = 0;
+            for (auto v : c)
+            {
+                ASSERT_GE(v, 1u) << schedulingName(s) << " n=" << n << " p=" << p;
+                sum += v;
+            }
+            ASSERT_EQ(sum, n) << schedulingName(s) << " n=" << n << " p=" << p;
+        }
+    }
+}
+
+TEST(ChunkSequenceProperty, DecreasingStrategiesAreNonIncreasing)
+{
+    Xoshiro256pp rng(42424242);
+    for (int trial = 0; trial < 200; ++trial)
+    {
+        std::size_t n = 1 + rng() % 50000;
+        std::size_t p = 1 + rng() % 64;
+        for (auto s : {SchedulingStrategy::Guided, SchedulingStrategy::Trapezoid,
+                       SchedulingStrategy::Factoring})
+        {
+            auto c = chunkSequence(n, p, s);
+            for (std::size_t i = 1; i < c.size(); ++i)
+            {
+                ASSERT_LE(c[i], c[i - 1]) << schedulingName(s) << " n=" << n
+                                          << " p=" << p << " chunk " << i;
+            }
+        }
+    }
+}
 
 // --- LoopScheduler ------------------------------------------------------------
 

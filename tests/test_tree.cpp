@@ -418,6 +418,38 @@ TEST(NeighborList, OverflowDetected)
     }
 }
 
+TEST(NeighborList, OverflowCountExactUnderConcurrentWriters)
+{
+    // regression: overflow_ is bumped through `#pragma omp atomic` in
+    // set(); with many threads writing oversized lists concurrently the
+    // count must still be exact (a plain ++ would drop increments)
+    const std::size_t n = 20000;
+    const unsigned ngmax = 4;
+    NeighborList<double> nl(n, ngmax);
+
+    using Index = NeighborList<double>::Index;
+    std::vector<Index> oversized(ngmax + 3); // every set() overflows
+    for (std::size_t k = 0; k < oversized.size(); ++k)
+        oversized[k] = Index(k);
+
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        nl.set(i, oversized);
+    }
+
+    EXPECT_EQ(nl.overflowCount(), n);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        ASSERT_EQ(nl.count(i), ngmax); // truncated, never past capacity
+    }
+
+    // reset() clears the overflow counter along with the lists
+    nl.reset(n, ngmax);
+    EXPECT_EQ(nl.overflowCount(), 0u);
+    EXPECT_EQ(nl.totalNeighbors(), 0u);
+}
+
 TEST(NeighborList, TotalNeighborsConsistent)
 {
     auto c = randomCloud(400, 37, 0.1);
