@@ -215,6 +215,24 @@ CodeProfile<T> sphflowProfile()
     return p;
 }
 
+/// SPH-flow run in its native regime: the weakly-compressible free-surface
+/// mode (Tait closure, Debrun spiky kernel, mirror-ghost walls available).
+/// The Table 1/3 sphflowProfile() emulates SPH-flow inside the paper's
+/// compressible comparison; this preset is the same parent pointed at the
+/// CFD scenarios the golden validation gallery covers (square patch, dam
+/// break). Scenario generators fill in the Tait parameters, walls and body
+/// force (ic/square_patch.hpp, ic/dam_break.hpp).
+template<class T>
+CodeProfile<T> wcsphProfile()
+{
+    CodeProfile<T> p     = sphflowProfile<T>();
+    p.name               = "SPH-flow/WCSPH";
+    p.config.hydroMode   = HydroMode::WeaklyCompressible;
+    p.config.kernel      = KernelType::DebrunSpiky;
+    p.kernelDesc         = "Debrun spiky";
+    return p;
+}
+
 /// The SPH-EXA mini-app target configuration (Tables 2 and 4): the union of
 /// the parents' features with the state-of-the-art defaults.
 template<class T>

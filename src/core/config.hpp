@@ -11,8 +11,11 @@
 #include <string>
 
 #include "core/phases.hpp"
+#include "math/vec.hpp"
 #include "parallel/schedulers.hpp"
+#include "sph/boundaries.hpp"
 #include "sph/density.hpp"
+#include "sph/eos_wcsph.hpp"
 #include "sph/iad.hpp"
 #include "sph/kernels.hpp"
 #include "sph/momentum_energy.hpp"
@@ -22,6 +25,20 @@
 #include "tree/multipole.hpp"
 
 namespace sphexa {
+
+/// Hydrodynamic closure regime: the compressible (astro) pipelines of the
+/// paper's two test cases, or the weakly-compressible free-surface mode of
+/// the CFD parent (Tait EOS, optional solid walls and body force).
+enum class HydroMode
+{
+    Compressible,
+    WeaklyCompressible,
+};
+
+constexpr std::string_view hydroModeName(HydroMode m)
+{
+    return m == HydroMode::Compressible ? "compressible" : "weakly-compressible";
+}
 
 /// Neighbor discovery mode (Table 1: "Global Tree Walk" vs individual).
 enum class NeighborMode
@@ -119,6 +136,16 @@ struct SimulationConfig
 
     ArtificialViscosity<T> av{};
 
+    // --- WCSPH free-surface mode (sph/eos_wcsph.hpp, sph/boundaries.hpp) ---
+    HydroMode hydroMode = HydroMode::Compressible;
+    /// Tait closure parameters, used when hydroMode is WeaklyCompressible.
+    WcsphEosParams<T> wcsphEos{};
+    /// Solid-wall mirror-ghost boundaries (phase K of the WCSPH pipeline).
+    BoundaryConfig<T> boundaries{};
+    /// Uniform body force (dam-break gravity), applied after the SPH
+    /// accelerations by the WCSPH pipeline's body-force op.
+    Vec3<T> constantAccel{T(0), T(0), T(0)};
+
     // --- discretization control ---
     unsigned targetNeighbors = 100;  ///< ~10^2 per the paper
     unsigned neighborTolerance = 10;
@@ -133,5 +160,18 @@ struct SimulationConfig
     /// Self-scheduling strategy of each phase's ParallelFor loops.
     PhaseSchedule phaseSchedule{};
 };
+
+/// The equation of state a configuration selects: the Tait closure built
+/// from the config's WCSPH parameters in the weakly-compressible mode, an
+/// ideal gas (\p idealGamma) otherwise.
+template<class T>
+Eos<T> eosFromConfig(const SimulationConfig<T>& cfg, T idealGamma = T(5) / T(3))
+{
+    if (cfg.hydroMode == HydroMode::WeaklyCompressible)
+    {
+        return Eos<T>(makeTaitEos(cfg.wcsphEos));
+    }
+    return Eos<T>(IdealGasEos<T>(idealGamma));
+}
 
 } // namespace sphexa

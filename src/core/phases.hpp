@@ -24,6 +24,9 @@ enum class Phase : int
     H_MomentumEnergy,
     I_SelfGravity,
     J_TimestepUpdate,
+    /// WCSPH mirror-ghost bracket (sph/boundaries.hpp): appended after the
+    /// paper's lettered phases so A..J keep their Fig. 4 values.
+    K_GhostExchange,
     Count
 };
 
@@ -43,6 +46,7 @@ constexpr std::string_view phaseName(Phase p)
         case Phase::H_MomentumEnergy: return "H:momentum-energy";
         case Phase::I_SelfGravity: return "I:self-gravity";
         case Phase::J_TimestepUpdate: return "J:timestep-update";
+        case Phase::K_GhostExchange: return "K:ghost-exchange";
         default: return "?";
     }
 }

@@ -33,6 +33,7 @@
 
 #include "core/step_context.hpp"
 #include "perf/timer.hpp"
+#include "sph/boundaries.hpp"
 #include "sph/density.hpp"
 #include "sph/divcurl.hpp"
 #include "sph/iad.hpp"
@@ -312,6 +313,53 @@ PhaseOp<T> selfGravity()
             }};
 }
 
+/// WCSPH ghost creation (phase K, before the tree build): mirror the reals
+/// across the configured walls and size the neighbor list for the enlarged
+/// set. A no-op when the config declares no walls, so the WCSPH pipeline
+/// degenerates to the compressible one on wall-free scenarios.
+template<class T>
+PhaseOp<T> ghostCreate()
+{
+    return {Phase::K_GhostExchange, [](StepContext<T>& ctx) {
+                ctx.nGhosts = appendMirrorGhosts(ctx.ps, ctx.box, ctx.cfg.boundaries);
+                if (ctx.nGhosts) ctx.nl.reset(ctx.ps.size(), ctx.cfg.ngmax);
+            }};
+}
+
+/// WCSPH ghost removal (phase K, after the force phases): truncate the
+/// ghost tail so integration and conservation see real particles only.
+template<class T>
+PhaseOp<T> ghostRemove()
+{
+    return {Phase::K_GhostExchange, [](StepContext<T>& ctx) {
+                if (!ctx.nGhosts) return;
+                removeGhosts(ctx.ps, ctx.nGhosts);
+                ctx.nl.reset(ctx.ps.size(), ctx.cfg.ngmax);
+                ctx.nGhosts = 0;
+            }};
+}
+
+/// Uniform body force (dam-break gravity): added onto the SPH
+/// accelerations, so it shares phase H's timing slot. A no-op at zero
+/// acceleration.
+template<class T>
+PhaseOp<T> bodyForce()
+{
+    return {Phase::H_MomentumEnergy, [](StepContext<T>& ctx) {
+                const Vec3<T>& g = ctx.cfg.constantAccel;
+                if (g.x == T(0) && g.y == T(0) && g.z == T(0)) return;
+                auto& ps = ctx.ps;
+                parallelFor(
+                    ps.size(),
+                    [&](std::size_t i, std::size_t) {
+                        ps.ax[i] += g.x;
+                        ps.ay[i] += g.y;
+                        ps.az[i] += g.z;
+                    },
+                    ctx.loopPolicy(Phase::H_MomentumEnergy));
+            }};
+}
+
 } // namespace phase_ops
 
 /// Assembles pipelines declaratively from a SimulationConfig (and therefore
@@ -339,10 +387,30 @@ public:
         return Propagator<T>(std::move(seg));
     }
 
+    /// WCSPH free-surface pipeline: the hydro phases bracketed by the
+    /// mirror-ghost ops of phase K (create before the tree build, remove
+    /// after forces) plus the uniform body force after phase H. With no
+    /// walls and zero body force every added op is a no-op and the phase
+    /// bodies match hydro()/hydroGravity() exactly — the pipeline-
+    /// equivalence gate the golden tests exploit.
+    static Propagator<T> wcsph(const SimulationConfig<T>& cfg)
+    {
+        std::vector<PhaseOp<T>> ops{
+            phase_ops::ghostCreate<T>(),  phase_ops::treeBuild<T>(),
+            phase_ops::neighborSearch<T>(), phase_ops::smoothingLength<T>(),
+            phase_ops::neighborSymmetrize<T>(), phase_ops::density<T>(),
+            phase_ops::eosAndIad<T>(),    phase_ops::divCurl<T>(),
+            phase_ops::momentumEnergy<T>(), phase_ops::bodyForce<T>()};
+        if (cfg.selfGravity) ops.push_back(phase_ops::selfGravity<T>());
+        ops.push_back(phase_ops::ghostRemove<T>());
+        return custom(std::move(ops));
+    }
+
     /// Shared-memory pipeline for a configuration: the scenario (gravity or
-    /// not) selects the phase list.
+    /// not, compressible or WCSPH) selects the phase list.
     static Propagator<T> singleRank(const SimulationConfig<T>& cfg)
     {
+        if (cfg.hydroMode == HydroMode::WeaklyCompressible) return wcsph(cfg);
         return cfg.selfGravity ? hydroGravity() : hydro();
     }
 

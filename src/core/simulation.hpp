@@ -58,6 +58,14 @@ public:
         if (ps_.empty()) throw std::invalid_argument("Simulation: empty particle set");
     }
 
+    /// Convenience: derive the EOS from the configuration — the Tait
+    /// closure of the config's WCSPH parameters in the weakly-compressible
+    /// mode, an ideal gas otherwise (core/config.hpp, eosFromConfig).
+    Simulation(ParticleSet<T> ps, Box<T> box, SimulationConfig<T> cfg)
+        : Simulation(std::move(ps), box, eosFromConfig<T>(cfg), cfg)
+    {
+    }
+
     const ParticleSet<T>& particles() const { return ps_; }
     ParticleSet<T>& particles() { return ps_; }
     const Box<T>& box() const { return box_; }

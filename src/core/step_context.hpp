@@ -111,6 +111,9 @@ struct StepContext
     // --- outputs, harvested into StepReport/driver state by the runner ---
     T maxVsignal{0};
     T potentialEnergy{0};
+    /// Mirror ghosts currently appended at the tail of ps (WCSPH phase K);
+    /// zero outside the ghostCreate..ghostRemove bracket.
+    std::size_t nGhosts = 0;
     unsigned hIterations = 0;
     std::size_t neighborInteractions = 0;
     std::size_t activeParticles = 0;

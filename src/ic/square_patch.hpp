@@ -17,6 +17,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/config.hpp"
 #include "domain/box.hpp"
 #include "ic/lattice.hpp"
 #include "math/series.hpp"
@@ -89,6 +90,23 @@ SquarePatchSetup<T> makeSquarePatch(ParticleSet<T>& ps, const SquarePatchConfig<
     }
 
     return {box, eos, mass, dx};
+}
+
+/// The SimulationConfig the validated free-surface square patch runs
+/// under: the WCSPH pipeline with the setup's Tait parameters. The patch
+/// is all free surface (no solid walls), so only the closure and pipeline
+/// seams differ from the compressible configuration — which is exactly the
+/// pipeline-equivalence property the golden gallery checks.
+template<class T>
+SimulationConfig<T> squarePatchConfig(const SquarePatchSetup<T>& setup)
+{
+    SimulationConfig<T> cfg;
+    cfg.hydroMode              = HydroMode::WeaklyCompressible;
+    cfg.wcsphEos.rho0          = setup.eos.referenceDensity();
+    cfg.wcsphEos.c0            = setup.eos.referenceSoundSpeed();
+    cfg.wcsphEos.gamma         = setup.eos.gamma();
+    cfg.wcsphEos.pressureFloor = setup.eos.pressureFloor();
+    return cfg;
 }
 
 } // namespace sphexa

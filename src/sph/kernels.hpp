@@ -7,6 +7,10 @@
 ///  - Sinc family S_n (SPHYNX; Cabezon, Garcia-Senz & Relano 2008)
 ///  - M4 cubic spline (ChaNGa; Monaghan & Lattanzio 1985)
 ///  - Wendland C2/C4/C6 (ChaNGa, SPH-flow; Dehnen & Aly 2012)
+///  - Debrun spiky (WCSPH/free-surface codes; Desbrun & Gascuel 1996),
+///    whose gradient does NOT vanish at the origin — the property pressure
+///    forces need to keep close particle pairs apart in weakly-compressible
+///    flows
 ///
 /// All kernels are normalized in 3D and share a compact support radius of
 /// 2h, so neighbor discovery is kernel-agnostic. q = r/h throughout:
@@ -25,6 +29,7 @@
 
 #include "math/lookup_table.hpp"
 #include "math/quadrature.hpp"
+#include "math/vec.hpp"
 
 namespace sphexa {
 
@@ -35,6 +40,7 @@ enum class KernelType
     WendlandC2,
     WendlandC4,
     WendlandC6,
+    DebrunSpiky, ///< f(q) = (2 - q)^3: the WCSPH pressure kernel
 };
 
 constexpr std::string_view kernelName(KernelType k)
@@ -46,6 +52,7 @@ constexpr std::string_view kernelName(KernelType k)
         case KernelType::WendlandC2: return "Wendland C2";
         case KernelType::WendlandC4: return "Wendland C4";
         case KernelType::WendlandC6: return "Wendland C6";
+        case KernelType::DebrunSpiky: return "Debrun spiky";
     }
     return "?";
 }
@@ -115,6 +122,10 @@ private:
             case KernelType::WendlandC2: return T(21) / (T(16) * pi);
             case KernelType::WendlandC4: return T(495) / (T(256) * pi);
             case KernelType::WendlandC6: return T(1365) / (T(512) * pi);
+            // int_0^2 (2-q)^3 q^2 dq = 16/15  =>  sigma = 15/(64 pi); in the
+            // classic support-H form this is the 15/(pi H^6) spiky of
+            // Desbrun & Gascuel with H = 2h
+            case KernelType::DebrunSpiky: return T(15) / (T(64) * pi);
             default: return T(0); // unreachable; sinc handled numerically
         }
     }
@@ -152,6 +163,11 @@ private:
                 T t2 = t * t;
                 T t4 = t2 * t2;
                 return t4 * t4 * (T(4) * q * q * q + (T(25) / 4) * q * q + T(4) * q + T(1));
+            }
+            case KernelType::DebrunSpiky:
+            {
+                T t = T(2) - q;
+                return t * t * t;
             }
         }
         return T(0);
@@ -193,6 +209,13 @@ private:
                 T t2 = t * t;
                 T t4 = t2 * t2;
                 return -(T(11) / 4) * q * (T(8) * q * q + T(7) * q + T(2)) * t4 * t2 * t;
+            }
+            case KernelType::DebrunSpiky:
+            {
+                // f'(0) = -12: the spiky gradient stays finite and nonzero
+                // at the origin instead of vanishing like the spline family
+                T t = T(2) - q;
+                return -T(3) * t * t;
             }
         }
         return T(0);
@@ -258,5 +281,65 @@ private:
     LookupTable<T> dfTable_;
     KernelType type_;
 };
+
+// --- Debrun spiky closed forms ----------------------------------------------
+//
+// The WCSPH pressure kernel as standalone (r, h) functions: W, dW/dr, the
+// radial gradient vector, and the Laplacian nabla^2 W that weakly-
+// compressible viscosity operators use. Equivalent to
+// Kernel<T>(KernelType::DebrunSpiky) but without constructing a kernel, and
+// defined (as zero) for negative r so boundary-distance arithmetic can call
+// them unguarded.
+
+/// 3D spiky normalization sigma = 15/(64 pi) (support radius 2h).
+template<class T>
+constexpr T debrunSpikySigma()
+{
+    return T(15) / (T(64) * std::numbers::pi_v<T>);
+}
+
+/// W(r, h) = sigma/h^3 (2 - r/h)^3 for 0 <= r < 2h, else 0.
+template<class T>
+T debrunSpikyKernel(T r, T h)
+{
+    T q = r / h;
+    if (q < T(0) || q >= T(2)) return T(0);
+    T t = T(2) - q;
+    return debrunSpikySigma<T>() * t * t * t / (h * h * h);
+}
+
+/// dW/dr = -3 sigma/h^4 (2 - r/h)^2: finite and nonzero at r = 0 (the
+/// defining spiky property — spline-family gradients vanish there).
+template<class T>
+T debrunSpikyDwdr(T r, T h)
+{
+    T q = r / h;
+    if (q < T(0) || q >= T(2)) return T(0);
+    T t = T(2) - q;
+    return -T(3) * debrunSpikySigma<T>() * t * t / (h * h * h * h);
+}
+
+/// Gradient vector: d/|d| * dW/dr for separation d (zero at zero distance).
+template<class T>
+Vec3<T> debrunSpikyGradient(const Vec3<T>& d, T h)
+{
+    T r = std::sqrt(norm2(d));
+    if (r <= T(0)) return {T(0), T(0), T(0)};
+    T scale = debrunSpikyDwdr(r, h) / r;
+    return {d.x * scale, d.y * scale, d.z * scale};
+}
+
+/// Radial Laplacian nabla^2 W = sigma/h^5 (f''(q) + 2 f'(q)/q)
+///                            = 12 sigma/h^5 (2 - q)(q - 1)/q.
+/// Singular (-> -inf) as r -> 0, like the classic spiky Laplacian; callers
+/// evaluate it at finite pair separations only.
+template<class T>
+T debrunSpikyLaplacian(T r, T h)
+{
+    T q = r / h;
+    if (q <= T(0) || q >= T(2)) return T(0);
+    T t = T(2) - q;
+    return T(12) * debrunSpikySigma<T>() * t * (q - T(1)) / (q * h * h * h * h * h);
+}
 
 } // namespace sphexa

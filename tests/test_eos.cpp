@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "sph/eos.hpp"
+#include "sph/eos_wcsph.hpp"
 
 using namespace sphexa;
 
@@ -64,6 +65,43 @@ TEST(Tait, SoundSpeedIncreasesWithDensity)
 {
     TaitEos<double> eos(1.0, 35.0);
     EXPECT_GT(eos(1.05, 0.0).soundSpeed, eos(1.0, 0.0).soundSpeed);
+}
+
+TEST(Tait, MatchesWcsphReferenceFormula)
+{
+    // cal_pressure_wcsph reference case: water column, rho0 = 1000,
+    // c0^2 = 1500, gamma = 7, 10% compressed
+    double rho0 = 1000.0, c2 = 1500.0, gamma = 7.0, rho = 1100.0;
+    double B = wcsphStiffness(rho0, c2, gamma);
+    EXPECT_NEAR(B, 1500.0 * 1000.0 / 7.0, 1e-9);
+
+    double ref = B * (std::pow(rho / rho0, gamma) - 1.0);
+    EXPECT_NEAR(calPressureWcsph(rho, rho0, c2, gamma), ref, 1e-9 * ref);
+
+    TaitEos<double> eos(rho0, std::sqrt(c2), gamma);
+    EXPECT_NEAR(eos(rho, 0.0).pressure, ref, 1e-9 * ref);
+    EXPECT_NEAR(eos(rho, 0.0).soundSpeed, calSoundSpeedWcsph(rho, rho0, c2, gamma),
+                1e-12);
+}
+
+TEST(Tait, MakeTaitEosAppliesParameterBlock)
+{
+    WcsphEosParams<double> p;
+    p.rho0          = 2.0;
+    p.c0            = 20.0;
+    p.gamma         = 7.0;
+    p.pressureFloor = 0.0;
+    TaitEos<double> eos = makeTaitEos(p);
+    EXPECT_DOUBLE_EQ(eos.referenceDensity(), 2.0);
+    EXPECT_DOUBLE_EQ(eos.referenceSoundSpeed(), 20.0);
+    // the floor clamps the tensile branch: rho < rho0 gives P = 0, not P < 0
+    EXPECT_DOUBLE_EQ(eos(1.9, 0.0).pressure, 0.0);
+    EXPECT_GT(eos(2.1, 0.0).pressure, 0.0);
+    // defaults leave the floor off: tension passes through
+    WcsphEosParams<double> open;
+    open.rho0 = 2.0;
+    open.c0   = 20.0;
+    EXPECT_LT(makeTaitEos(open)(1.9, 0.0).pressure, 0.0);
 }
 
 TEST(Isothermal, PressureProportionalToDensity)

@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <numeric>
+#include <vector>
 
+#include "core/simulation.hpp"
+#include "ic/dam_break.hpp"
 #include "ic/evrard.hpp"
 #include "ic/lattice.hpp"
 #include "ic/sedov.hpp"
@@ -268,4 +273,105 @@ TEST(Sedov, ShockRadiusScaling)
     double r1 = sedovShockRadius<double>(0.01, 1.0, 1.0);
     double r2 = sedovShockRadius<double>(0.02, 1.0, 1.0);
     EXPECT_NEAR(r2 / r1, std::pow(2.0, 0.4), 1e-12);
+}
+
+TEST(Sedov, IntegratedRunTracksSimilaritySolution)
+{
+    // End-to-end regression: evolve the blast and compare the measured
+    // shock shell (mean radius of the densest 2% of particles) against the
+    // analytic R(t). Coarser than the golden gallery's gate (small N), so
+    // the band is wider; the growth between probes must still be monotone.
+    ParticleSetD ps;
+    SedovConfig<double> cfg;
+    cfg.nSide = 16;
+    auto setup = makeSedov(ps, cfg);
+
+    SimulationConfig<double> sc;
+    sc.targetNeighbors    = 50;
+    sc.neighborTolerance  = 10;
+    sc.timestep.initialDt = 1e-6;
+    Simulation<double> sim(std::move(ps), setup.box, Eos<double>(setup.eos), sc);
+    sim.computeForces();
+
+    auto shellRadius = [](const ParticleSetD& p) {
+        std::vector<std::size_t> idx(p.size());
+        std::iota(idx.begin(), idx.end(), std::size_t{0});
+        std::size_t k = std::max<std::size_t>(32, p.size() / 50);
+        std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                          [&](auto a, auto b) { return p.rho[a] > p.rho[b]; });
+        double sum = 0;
+        for (std::size_t j = 0; j < k; ++j)
+        {
+            auto i = idx[j];
+            sum += std::sqrt(p.x[i] * p.x[i] + p.y[i] * p.y[i] + p.z[i] * p.z[i]);
+        }
+        return sum / double(k);
+    };
+
+    double prev = 0;
+    for (double tProbe : {0.01, 0.02})
+    {
+        int guard = 0;
+        while (sim.time() < tProbe && guard++ < 500)
+            sim.advance();
+        double measured = shellRadius(sim.particles());
+        double analytic = sedovShockRadius(sim.time(), cfg.energy, cfg.rho0);
+        EXPECT_NEAR(measured, analytic, 0.35 * analytic) << "t=" << sim.time();
+        EXPECT_GT(measured, prev);
+        prev = measured;
+    }
+}
+
+// --- dam break ------------------------------------------------------------------
+
+TEST(DamBreak, HydrostaticColumnMatchesInverseTait)
+{
+    ParticleSetD ps;
+    DamBreakConfig<double> cfg;
+    cfg.nx = cfg.ny = 12;
+    cfg.nz = 4;
+    auto setup = makeDamBreak(ps, cfg);
+
+    EXPECT_TRUE(setup.box.pbc[2]); // quasi-2D: periodic in z only
+    EXPECT_FALSE(setup.box.pbc[0]);
+    EXPECT_NEAR(setup.surgeSpeed, 2.0 * std::sqrt(cfg.g * cfg.columnHeight), 1e-12);
+
+    double mtot = 0;
+    for (std::size_t i = 0; i < ps.size(); ++i)
+    {
+        mtot += ps.m[i];
+        // hydrostatic pressure, and the EOS must reproduce it exactly from
+        // the planted density (the inverse-Tait construction)
+        EXPECT_NEAR(ps.p[i], cfg.rho0 * cfg.g * (cfg.columnHeight - ps.y[i]), 1e-12);
+        EXPECT_NEAR(setup.eos(ps.rho[i], 0.0).pressure, ps.p[i], 1e-9) << i;
+        EXPECT_LE(ps.x[i], cfg.columnWidth); // column, not the whole tank
+    }
+    EXPECT_NEAR(mtot, cfg.rho0 * cfg.columnWidth * cfg.columnHeight * cfg.depth, 1e-12);
+}
+
+TEST(DamBreak, ConfigSelectsWcsphPipelineWallsAndGravity)
+{
+    ParticleSetD ps;
+    DamBreakConfig<double> cfg;
+    auto setup = makeDamBreak(ps, cfg);
+    auto sc    = damBreakConfig(cfg, setup);
+
+    EXPECT_EQ(sc.hydroMode, HydroMode::WeaklyCompressible);
+    EXPECT_TRUE(sc.boundaries.enabled);
+    EXPECT_TRUE(sc.boundaries.wallLo[0]);  // dam-side wall
+    EXPECT_TRUE(sc.boundaries.wallLo[1]);  // floor
+    EXPECT_TRUE(sc.boundaries.wallHi[0]);  // far wall
+    EXPECT_FALSE(sc.boundaries.wallHi[1]); // open top
+    EXPECT_FALSE(sc.boundaries.wallLo[2]); // periodic z: no wall
+    EXPECT_DOUBLE_EQ(sc.constantAccel.y, -cfg.g);
+    EXPECT_DOUBLE_EQ(sc.wcsphEos.c0, setup.eos.referenceSoundSpeed());
+    EXPECT_DOUBLE_EQ(sc.wcsphEos.pressureFloor, 0.0); // free surface: no tension
+}
+
+TEST(DamBreak, RitterFrontIsLinearInTime)
+{
+    double x1 = ritterFrontPosition(0.1, 0.5, 1.0, 1.0);
+    double x2 = ritterFrontPosition(0.2, 0.5, 1.0, 1.0);
+    EXPECT_NEAR(x1, 0.5 + 2.0 * 0.1, 1e-12);
+    EXPECT_NEAR(x2 - x1, x1 - 0.5, 1e-12); // constant front speed
 }

@@ -111,7 +111,7 @@ TEST_P(KernelSweep, TabulatedAgreesWithAnalytic)
 INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSweep,
                          ::testing::Values(KernelType::Sinc, KernelType::CubicSpline,
                                            KernelType::WendlandC2, KernelType::WendlandC4,
-                                           KernelType::WendlandC6),
+                                           KernelType::WendlandC6, KernelType::DebrunSpiky),
                          [](const auto& info) {
                              switch (info.param)
                              {
@@ -120,6 +120,7 @@ INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSweep,
                                  case KernelType::WendlandC2: return "WendlandC2";
                                  case KernelType::WendlandC4: return "WendlandC4";
                                  case KernelType::WendlandC6: return "WendlandC6";
+                                 case KernelType::DebrunSpiky: return "DebrunSpiky";
                              }
                              return "unknown";
                          });
@@ -160,6 +161,103 @@ TEST(SincKernel, ApproachesCubicSplineShapeAtN3)
     Kernel<double> sinc3(KernelType::Sinc, 3.0);
     Kernel<double> m4(KernelType::CubicSpline);
     EXPECT_NEAR(sinc3.fq(0.0), m4.fq(0.0), 0.15 * m4.fq(0.0));
+}
+
+// --- Debrun spiky specifics -------------------------------------------------
+
+TEST(DebrunSpiky, GradientNonzeroAtOrigin)
+{
+    // the defining property of the pressure kernel: f'(0) = -12, not 0, so
+    // close particle pairs always feel a repulsive pressure gradient
+    Kernel<double> spiky(KernelType::DebrunSpiky);
+    EXPECT_NEAR(spiky.dfq(0.0), -12.0 * debrunSpikySigma<double>(), 1e-14);
+    // contrast: the bell-shaped M4 has a flat top
+    EXPECT_DOUBLE_EQ(Kernel<double>(KernelType::CubicSpline).dfq(0.0), 0.0);
+}
+
+TEST(DebrunSpiky, ClosedFormNormalization)
+{
+    // sigma = 15/(64 pi): int_0^2 (2-q)^3 q^2 dq = 16/15
+    EXPECT_NEAR(Kernel<double>(KernelType::DebrunSpiky).normalization(),
+                15.0 / (64 * std::numbers::pi), 1e-15);
+    EXPECT_NEAR(debrunSpikySigma<double>(), 0.074603879574326, 1e-14);
+}
+
+TEST(DebrunSpiky, FreeFunctionsAgreeWithKernelObject)
+{
+    Kernel<double> spiky(KernelType::DebrunSpiky);
+    for (double h : {0.5, 1.0, 2.0})
+    {
+        for (double r : {0.0, 0.3, 0.9, 1.4 * h, 2.5 * h})
+        {
+            EXPECT_NEAR(debrunSpikyKernel(r, h), spiky.value(r, h), 1e-14)
+                << "r=" << r << " h=" << h;
+        }
+    }
+    // out-of-support and negative arguments are hard zeros
+    EXPECT_DOUBLE_EQ(debrunSpikyKernel(2.1, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(debrunSpikyKernel(-0.1, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(debrunSpikyDwdr(2.1, 1.0), 0.0);
+}
+
+TEST(DebrunSpiky, MatchesPublishedCoefficientForm)
+{
+    // the classic spiky form W(r) = 15/(pi H^6) (H - r)^3 with support
+    // radius H equals this library's sigma/h^3 (2 - q)^3 at h = H/2; the
+    // 3D coefficient for H = 0.789 is a published golden value
+    double H     = 0.789;
+    double coeff = 19.791529914316335; // 15 / (pi * 0.789^6)
+    for (double r : {0.1, 0.3, 0.6})
+    {
+        EXPECT_NEAR(debrunSpikyKernel(r, H / 2), coeff * std::pow(H - r, 3.0),
+                    1e-12 * coeff) << "r=" << r;
+    }
+}
+
+TEST(DebrunSpiky, GradientMatchesFiniteDifference)
+{
+    double h = 0.7;
+    Vec3<double> d{0.3, 0.2, -0.1};
+    auto grad = debrunSpikyGradient(d, h);
+    const double eps = 1e-6;
+    double* comp[3] = {&d.x, &d.y, &d.z};
+    double g[3]     = {grad.x, grad.y, grad.z};
+    for (int ax = 0; ax < 3; ++ax)
+    {
+        double saved = *comp[ax];
+        *comp[ax]    = saved + eps;
+        double wp    = debrunSpikyKernel(norm(d), h);
+        *comp[ax]    = saved - eps;
+        double wm    = debrunSpikyKernel(norm(d), h);
+        *comp[ax]    = saved;
+        EXPECT_NEAR(g[ax], (wp - wm) / (2 * eps), 1e-5) << "axis " << ax;
+    }
+    // the gradient points from neighbor to particle (repulsive direction)
+    EXPECT_LT(dot(grad, d), 0.0);
+    // coincident pair: no direction, zero gradient
+    auto g0 = debrunSpikyGradient(Vec3<double>{0, 0, 0}, h);
+    EXPECT_DOUBLE_EQ(g0.x, 0.0);
+    EXPECT_DOUBLE_EQ(g0.y, 0.0);
+    EXPECT_DOUBLE_EQ(g0.z, 0.0);
+}
+
+TEST(DebrunSpiky, LaplacianMatchesFiniteDifferenceAndGoldenValue)
+{
+    // radial Laplacian in 3D: W'' + (2/r) W'
+    double h = 1.0;
+    const double eps = 1e-5;
+    for (double r : {0.4, 0.8, 1.3, 1.8})
+    {
+        double wp  = debrunSpikyKernel(r + eps, h);
+        double w0  = debrunSpikyKernel(r, h);
+        double wm  = debrunSpikyKernel(r - eps, h);
+        double fd  = (wp - 2 * w0 + wm) / (eps * eps) + (wp - wm) / (eps * r);
+        EXPECT_NEAR(debrunSpikyLaplacian(r, h), fd, 1e-4 * std::abs(fd)) << "r=" << r;
+    }
+    // golden value: 12 sigma (2-q)(q-1)/q at q = 1/2 is -18 sigma
+    EXPECT_NEAR(debrunSpikyLaplacian(0.5, 1.0), -1.342869832337867, 1e-12);
+    EXPECT_DOUBLE_EQ(debrunSpikyLaplacian(2.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(debrunSpikyLaplacian(0.0, 1.0), 0.0); // singular point guarded
 }
 
 // --- closed-form normalizations --------------------------------------------
