@@ -52,6 +52,24 @@ constexpr std::string_view neighborModeName(NeighborMode m)
     return m == NeighborMode::GlobalTreeWalk ? "Global Tree Walk" : "Individual Tree Walk";
 }
 
+/// How a global search fills the neighbor lists (tree/cluster_list.hpp):
+/// one octree walk per particle (the seed path, and the only shape the
+/// active-subset and per-rank walks support), or one walk per cluster of
+/// consecutive SFC-sorted particles expanded into the same flat lists —
+/// the large-N fast path. The two modes are bitwise-equivalent on every
+/// downstream field (tests/test_cluster_list.cpp, golden gallery).
+enum class NeighborSearchMode
+{
+    TreeWalk,
+    ClusterList,
+};
+
+constexpr std::string_view neighborSearchModeName(NeighborSearchMode m)
+{
+    return m == NeighborSearchMode::TreeWalk ? "per-particle tree walk"
+                                             : "cluster interaction lists";
+}
+
 /// Domain decomposition method (Tables 3 and 4). Slab1D is SPHYNX's
 /// "Straightforward" decomposition: contiguous slabs along one axis —
 /// simple, but with the worst surface-to-volume ratio of the three.
@@ -151,7 +169,24 @@ struct SimulationConfig
     unsigned neighborTolerance = 10;
     unsigned ngmax = 384;            ///< neighbor list capacity
     unsigned treeLeafSize = 64;
+    /// Morton keeps the seed's tree ordering bitwise; prefer Hilbert with
+    /// ClusterList mode — its locality (no octant-boundary jumps) measures
+    /// ~1.6x fewer candidate tests per cluster member than Morton.
     SfcCurve sfcCurve = SfcCurve::Morton;
+    /// Global-walk neighbor discovery shape. ClusterList implies the SFC
+    /// reorder below (clusters are runs of consecutive particles, tight
+    /// only in curve order). TreeWalk is the default for bitwise
+    /// continuity with the seed ordering, not for speed — the cluster
+    /// path wins from ~1e5 particles up (BENCH_neighbors.json).
+    NeighborSearchMode searchMode = NeighborSearchMode::TreeWalk;
+    /// Particles per cluster in ClusterList mode: large enough to amortize
+    /// one tree traversal, small enough to keep the cluster's candidate
+    /// superset tight (~2x the per-particle candidates at 32).
+    unsigned clusterSize = 32;
+    /// Physically reorder the ParticleSet along the SFC each step (phase L,
+    /// tree/sfc_sort.hpp) even in TreeWalk mode — cache locality without
+    /// the cluster lists. Forced on by ClusterList mode.
+    bool sfcReorder = false;
     bool parallelTreeBuild = false;  ///< SPHYNX v1.3.1 built its tree serially
     bool symmetrizeNeighbors = true; ///< exact pairwise momentum conservation
 

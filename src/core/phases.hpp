@@ -27,6 +27,10 @@ enum class Phase : int
     /// WCSPH mirror-ghost bracket (sph/boundaries.hpp): appended after the
     /// paper's lettered phases so A..J keep their Fig. 4 values.
     K_GhostExchange,
+    /// SFC particle reordering (tree/sfc_sort.hpp): runs FIRST in the
+    /// pipelines that enable it (before the ghost bracket and tree build),
+    /// but is lettered after K so A..K keep their established values.
+    L_SfcSort,
     Count
 };
 
@@ -47,6 +51,7 @@ constexpr std::string_view phaseName(Phase p)
         case Phase::I_SelfGravity: return "I:self-gravity";
         case Phase::J_TimestepUpdate: return "J:timestep-update";
         case Phase::K_GhostExchange: return "K:ghost-exchange";
+        case Phase::L_SfcSort: return "L:sfc-sort";
         default: return "?";
     }
 }

@@ -126,6 +126,7 @@ public:
         rep.neighborInteractions = ctx.neighborInteractions;
         rep.activeParticles      = ctx.activeParticles;
         rep.hIterations          = ctx.hIterations;
+        rep.neighborOverflow     = ctx.neighborOverflow;
         rep.gravityStats         = ctx.gravityStats;
         rep.phaseLoad            = ctx.phaseLoad;
     }
@@ -138,6 +139,32 @@ private:
 /// StepContext (global walk, active-subset walk, or per-rank local walk) so
 /// the shared-memory and distributed drivers execute the exact same code.
 namespace phase_ops {
+
+/// SFC particle reorder (phase L, tree/sfc_sort.hpp): physically sort the
+/// set along the configured curve so every downstream sweep is cache-local
+/// and the cluster search's fixed-size runs of consecutive particles are
+/// spatially tight. Placed FIRST in the pipelines that carry it — before
+/// the WCSPH ghost bracket (ghosts never move) and before the tree build
+/// (every list is rebuilt over the new order). Self-gates on the config
+/// (ClusterList search implies it) and runs only on Global walks: an
+/// active-subset step reuses neighbor lists whose entries reference
+/// pre-reorder slots, and the distributed driver orders particles in its
+/// decomposition glue instead.
+template<class T>
+PhaseOp<T> sfcReorder()
+{
+    return {Phase::L_SfcSort, [](StepContext<T>& ctx) {
+                if (ctx.walkMode != WalkMode::Global) return;
+                if (!ctx.cfg.sfcReorder &&
+                    ctx.cfg.searchMode != NeighborSearchMode::ClusterList)
+                {
+                    return;
+                }
+                SfcSorter<T>  local;
+                SfcSorter<T>& sorter = ctx.sorter ? *ctx.sorter : local;
+                sorter.apply(ctx.ps, ctx.box, ctx.cfg.sfcCurve);
+            }};
+}
 
 template<class T>
 PhaseOp<T> treeBuild()
@@ -157,10 +184,25 @@ PhaseOp<T> neighborSearch()
 {
     return {Phase::B_NeighborSearch, [](StepContext<T>& ctx) {
                 auto& ps = ctx.ps;
+                // this step's overflow accounting starts at the search
+                // (phases C/D may add more via their nl.set calls)
+                ctx.nl.resetOverflow();
                 switch (ctx.walkMode)
                 {
                     case WalkMode::Global:
-                        findNeighborsGlobal(ctx.tree, ps.x, ps.y, ps.z, ps.h, ctx.nl);
+                        if (ctx.cfg.searchMode == NeighborSearchMode::ClusterList)
+                        {
+                            ClusterWorkspace<T>  local;
+                            ClusterWorkspace<T>& ws =
+                                ctx.clusters ? *ctx.clusters : local;
+                            findNeighborsClustered(ctx.tree, ps.x, ps.y, ps.z, ps.h,
+                                                   ctx.nl, ws, ctx.cfg.clusterSize,
+                                                   ctx.loopPolicy(Phase::B_NeighborSearch));
+                        }
+                        else
+                        {
+                            findNeighborsGlobal(ctx.tree, ps.x, ps.y, ps.z, ps.h, ctx.nl);
+                        }
                         ctx.activeParticles = ps.size();
                         break;
                     case WalkMode::ActiveSubset:
@@ -211,12 +253,19 @@ PhaseOp<T> neighborSymmetrize()
                 if (ctx.skipEmptyLocal())
                 {
                     ctx.neighborInteractions = 0;
+                    ctx.neighborOverflow     = 0;
                     return;
                 }
                 if (ctx.walkMode == WalkMode::Global && ctx.cfg.symmetrizeNeighbors)
                 {
-                    symmetrizeNeighborList(ctx.nl);
+                    symmetrizeNeighborList(
+                        ctx.nl, std::span<const std::uint64_t>(ctx.ps.id.data(),
+                                                               ctx.nl.size()));
                 }
+                // phase D closes the list-building bracket (B fills, C may
+                // re-walk, the symmetrize pass appends): snapshot overflow
+                // here so the report reflects the lists the SPH sums read
+                ctx.neighborOverflow = ctx.nl.overflowCount();
                 // interaction counter: owned particles only on a rank
                 // (remote pairs arrive via the halo), whole list otherwise
                 if (ctx.walkMode == WalkMode::LocalIndices)
@@ -368,10 +417,12 @@ template<class T>
 class PipelineFactory
 {
 public:
-    /// Hydro-only force pipeline: phases A..H (square patch, Sedov).
+    /// Hydro-only force pipeline: phases A..H (square patch, Sedov),
+    /// preceded by the self-gating SFC reorder of phase L.
     static Propagator<T> hydro()
     {
-        return custom({phase_ops::treeBuild<T>(), phase_ops::neighborSearch<T>(),
+        return custom({phase_ops::sfcReorder<T>(), phase_ops::treeBuild<T>(),
+                       phase_ops::neighborSearch<T>(),
                        phase_ops::smoothingLength<T>(),
                        phase_ops::neighborSymmetrize<T>(), phase_ops::density<T>(),
                        phase_ops::eosAndIad<T>(), phase_ops::divCurl<T>(),
@@ -396,7 +447,8 @@ public:
     static Propagator<T> wcsph(const SimulationConfig<T>& cfg)
     {
         std::vector<PhaseOp<T>> ops{
-            phase_ops::ghostCreate<T>(),  phase_ops::treeBuild<T>(),
+            phase_ops::sfcReorder<T>(),   phase_ops::ghostCreate<T>(),
+            phase_ops::treeBuild<T>(),
             phase_ops::neighborSearch<T>(), phase_ops::smoothingLength<T>(),
             phase_ops::neighborSymmetrize<T>(), phase_ops::density<T>(),
             phase_ops::eosAndIad<T>(),    phase_ops::divCurl<T>(),

@@ -24,6 +24,7 @@
 /// the header implementing each stage.
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <stdexcept>
@@ -222,12 +223,23 @@ private:
         ctx.gravity    = &gravity_;
         ctx.controller = &controller_;
         ctx.awf        = &awf_; // AWF weights persist across the driver's steps
+        ctx.sorter     = &sorter_;    // phase L key/perm buffers persist too,
+        ctx.clusters   = &clusterWs_; // as does the cluster-search scratch
         bool subset    = cfg_.neighborMode == NeighborMode::IndividualTreeWalk &&
                       controller_.stepCount() > 0;
         ctx.walkMode = subset ? WalkMode::ActiveSubset : WalkMode::Global;
 
         if (log_) log_->beginStep(stepId);
         pipeline_.run(ctx, rep, log_, /*rank*/ 0);
+
+        if (rep.neighborOverflow > 0)
+        {
+            std::fprintf(stderr,
+                         "sphexa: step %llu: %zu neighbor list(s) exceeded ngmax=%u "
+                         "(truncated; raise ngmax or lower targetNeighbors)\n",
+                         static_cast<unsigned long long>(stepId), rep.neighborOverflow,
+                         cfg_.ngmax);
+        }
 
         maxVsignal_      = ctx.maxVsignal;
         potentialEnergy_ = ctx.potentialEnergy;
@@ -246,6 +258,8 @@ private:
     TimestepController<T> controller_;
     Propagator<T> pipeline_;
     AwfWeightStore awf_; ///< per-phase AWF weights, adapted across steps
+    SfcSorter<T> sorter_;           ///< phase L buffers, persist across steps
+    ClusterWorkspace<T> clusterWs_; ///< cluster-search scratch, persists too
     PhaseEventLog* log_{nullptr};
 
     T time_{0};

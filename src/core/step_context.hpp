@@ -26,9 +26,11 @@
 #include "sph/eos.hpp"
 #include "sph/particles.hpp"
 #include "sph/timestep.hpp"
+#include "tree/cluster_list.hpp"
 #include "tree/gravity.hpp"
 #include "tree/neighbors.hpp"
 #include "tree/octree.hpp"
+#include "tree/sfc_sort.hpp"
 
 namespace sphexa {
 
@@ -45,6 +47,10 @@ struct StepReport
     std::size_t activeParticles = 0;
     GravityStats gravityStats{};
     unsigned hIterations = 0;
+    /// Neighbor-list fills that exceeded ngmax this step (truncated lists).
+    /// Zero in a healthy run; the shared-memory driver warns once per step
+    /// when it is not, instead of silently losing interactions.
+    std::size_t neighborOverflow = 0;
 
     /// Measured per-worker busy times of each phase's ParallelFor loops —
     /// the raw material of the per-phase POP load-balance metrics
@@ -108,6 +114,14 @@ struct StepContext
     /// weights every loop.
     AwfWeightStore* awf = nullptr;
 
+    /// Driver-owned persistent buffers of the sorted-reorder + cluster
+    /// neighbor-search subsystem (tree/sfc_sort.hpp, tree/cluster_list.hpp):
+    /// key/permutation storage for phase L and per-worker candidate scratch
+    /// for the phase B cluster path. Null-safe — the phase ops fall back to
+    /// transient local buffers (correct, just re-allocating each step).
+    SfcSorter<T>* sorter = nullptr;
+    ClusterWorkspace<T>* clusters = nullptr;
+
     // --- outputs, harvested into StepReport/driver state by the runner ---
     T maxVsignal{0};
     T potentialEnergy{0};
@@ -117,6 +131,7 @@ struct StepContext
     unsigned hIterations = 0;
     std::size_t neighborInteractions = 0;
     std::size_t activeParticles = 0;
+    std::size_t neighborOverflow = 0;
     GravityStats gravityStats{};
     std::array<PhaseLoadStats, phaseCount> phaseLoad{};
 

@@ -120,6 +120,36 @@ Box<T> computeBoundingBox(std::span<const T> x, std::span<const T> y, std::span<
     return b;
 }
 
+/// Squared distance between the axis-aligned boxes [alo, ahi] and
+/// [blo, bhi], honoring periodic axes of the global box \p global. The
+/// periodic images shift the first box by ±L, mirroring the point shifts of
+/// distanceSqToBox, so for any point p inside [alo, ahi] the box-box
+/// distance never exceeds distanceSqToBox(p, blo, bhi, global) — the
+/// conservative-pruning property the cluster neighbor search relies on.
+template<class T>
+T aabbDistanceSq(const Vec3<T>& alo, const Vec3<T>& ahi, const Vec3<T>& blo,
+                 const Vec3<T>& bhi, const Box<T>& global)
+{
+    auto gap = [](T lo1, T hi1, T lo2, T hi2) {
+        if (hi1 < lo2) return lo2 - hi1;
+        if (lo1 > hi2) return lo1 - hi2;
+        return T(0);
+    };
+    T d2 = T(0);
+    for (int ax = 0; ax < 3; ++ax)
+    {
+        T d = gap(alo[ax], ahi[ax], blo[ax], bhi[ax]);
+        if (global.pbc[ax])
+        {
+            T L = global.length(ax);
+            d   = std::min({d, gap(alo[ax] - L, ahi[ax] - L, blo[ax], bhi[ax]),
+                            gap(alo[ax] + L, ahi[ax] + L, blo[ax], bhi[ax])});
+        }
+        d2 += d * d;
+    }
+    return d2;
+}
+
 /// Squared distance from point \p p to the axis-aligned box [blo, bhi],
 /// honoring periodic axes of the global box \p global.
 template<class T>

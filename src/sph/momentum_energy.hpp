@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -152,8 +153,16 @@ MomentumEnergyStats<T> computeMomentumEnergy(ParticleSet<T>& ps, const NeighborL
 /// Ensure neighbor lists are pair-symmetric: if j lists i, i lists j.
 /// Required for exact momentum conservation when smoothing lengths differ
 /// (a particle pair can satisfy r < 2 h_i but r > 2 h_j).
+///
+/// Missing pairs are collected in storage-slot scan order, which is frame-
+/// dependent once the SFC reorder (tree/sfc_sort.hpp) permutes the set.
+/// When \p ids is non-empty the appended run is stable-sorted by particle
+/// id so the list extension — and therefore the FP summation order of every
+/// downstream SPH loop — is a function of the physical pair set, not of the
+/// storage permutation. With identity ids (the unreordered seed layout) the
+/// sort is a no-op: slot order IS id order.
 template<class T>
-void symmetrizeNeighborList(NeighborList<T>& nl)
+void symmetrizeNeighborList(NeighborList<T>& nl, std::span<const std::uint64_t> ids = {})
 {
     using Index = typename NeighborList<T>::Index;
     std::size_t n = nl.size();
@@ -181,6 +190,11 @@ void symmetrizeNeighborList(NeighborList<T>& nl)
     for (std::size_t i = 0; i < n; ++i)
     {
         if (missing[i].empty()) continue;
+        if (!ids.empty())
+        {
+            std::stable_sort(missing[i].begin(), missing[i].end(),
+                             [&](Index a, Index b) { return ids[a] < ids[b]; });
+        }
         auto cur = nl.neighbors(i);
         merged.assign(cur.begin(), cur.end());
         merged.insert(merged.end(), missing[i].begin(), missing[i].end());

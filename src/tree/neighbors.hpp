@@ -31,14 +31,30 @@ public:
 
     explicit NeighborList(std::size_t n = 0, unsigned ngmax = 256) { reset(n, ngmax); }
 
+    /// Size the lists for \p n particles and zero the counts. The entry
+    /// storage only ever GROWS: steady-state resets (every step, plus the
+    /// WCSPH ghost bracket growing and shrinking the set within a step)
+    /// reuse the high-water-mark allocation instead of reassigning
+    /// n*ngmax entries — entries are never read past their count, so
+    /// stale storage needs no zeroing (bench_neighbors asserts the
+    /// no-churn property).
     void reset(std::size_t n, unsigned ngmax)
     {
         n_     = n;
         ngmax_ = ngmax;
-        list_.assign(n * ngmax, Index(0));
+        if (list_.size() < n * std::size_t(ngmax)) list_.resize(n * std::size_t(ngmax));
         count_.assign(n, 0);
         overflow_ = 0;
     }
+
+    /// Zero the overflow counter only (start of each search pass); keeps
+    /// lists and counts, unlike reset().
+    void resetOverflow() { overflow_ = 0; }
+
+    /// Allocated entry storage, in entries (high-water mark across resets).
+    std::size_t entryCapacity() const { return list_.capacity(); }
+    /// Address of the entry storage (stable across steady-state resets).
+    const Index* entryData() const { return list_.data(); }
 
     unsigned ngmax() const { return ngmax_; }
     std::size_t size() const { return n_; }

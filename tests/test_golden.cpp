@@ -257,6 +257,91 @@ TEST_P(GoldenGallery, PipelinesBitwiseEquivalentOnWallFreeScenario)
     }
 }
 
+// --- scenario 4b: neighbor-search mode equivalence ---------------------------
+
+TEST_P(GoldenGallery, ClusterSearchModePhysicsBitwiseMatchesTreeWalk)
+{
+    // The cluster search (tree/cluster_list.hpp) must not change physics at
+    // all: after un-permuting the SFC reorder it implies, every field is
+    // bit-identical to the per-particle tree walk. The compressible leg runs
+    // Sedov CROSS-frame (the TreeWalk reference stays in lattice order, the
+    // cluster run is SFC-sorted every step); the WCSPH leg runs the dam
+    // break — walls, ghosts, body force — same-frame (both runs reorder, so
+    // the comparison isolates the search mode under the ghost bracket).
+    auto runScenario = [&](bool cluster) {
+        if (leg() == Leg::Compressible)
+        {
+            ParticleSetD ps;
+            SedovConfig<double> ic;
+            ic.nSide   = 12;
+            auto setup = makeSedov(ps, ic);
+            SimulationConfig<double> cfg;
+            cfg.targetNeighbors    = 50;
+            cfg.neighborTolerance  = 10;
+            cfg.timestep.initialDt = 1e-6;
+            cfg.searchMode = cluster ? NeighborSearchMode::ClusterList
+                                     : NeighborSearchMode::TreeWalk;
+            Simulation<double> sim(std::move(ps), setup.box, Eos<double>(setup.eos),
+                                   cfg);
+            sim.computeForces();
+            sim.run(4);
+            return sim;
+        }
+        ParticleSetD ps;
+        DamBreakConfig<double> ic;
+        ic.nx = ic.ny = 12;
+        ic.nz         = 4;
+        auto setup    = makeDamBreak(ps, ic);
+        auto cfg      = damBreakConfig(ic, setup);
+        cfg.targetNeighbors    = 60;
+        cfg.neighborTolerance  = 10;
+        cfg.timestep.initialDt = 1e-4;
+        cfg.sfcReorder         = true; // same frame for both search modes
+        cfg.searchMode = cluster ? NeighborSearchMode::ClusterList
+                                 : NeighborSearchMode::TreeWalk;
+        Simulation<double> sim(std::move(ps), setup.box, cfg);
+        sim.computeForces();
+        sim.run(4);
+        return sim;
+    };
+
+    auto a = runScenario(false);
+    auto b = runScenario(true);
+    const auto& pa = a.particles();
+    const auto& pb = b.particles();
+    ASSERT_EQ(pa.size(), pb.size());
+
+    // join on particle id: the cluster run's storage order is SFC-permuted
+    std::vector<std::size_t> slotOfId(pb.size());
+    for (std::size_t k = 0; k < pb.size(); ++k)
+        slotOfId[pb.id[k]] = k;
+    for (std::size_t i = 0; i < pa.size(); ++i)
+    {
+        std::size_t j = slotOfId[pa.id[i]];
+        ASSERT_EQ(pa.x[i], pb.x[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.y[i], pb.y[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.z[i], pb.z[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.vx[i], pb.vx[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.vy[i], pb.vy[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.vz[i], pb.vz[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.rho[i], pb.rho[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.u[i], pb.u[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.p[i], pb.p[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.du[i], pb.du[j]) << "id " << pa.id[i];
+        ASSERT_EQ(pa.h[i], pb.h[j]) << "id " << pa.id[i];
+    }
+
+    // diagnostics sum in storage order, so they may differ by FP
+    // re-association only — never by physics
+    auto ca = a.conservation();
+    auto cb = b.conservation();
+    EXPECT_NEAR(cb.kineticEnergy, ca.kineticEnergy,
+                1e-12 * std::max(1.0, std::abs(ca.kineticEnergy)));
+    EXPECT_NEAR(cb.internalEnergy, ca.internalEnergy,
+                1e-12 * std::max(1.0, std::abs(ca.internalEnergy)));
+    EXPECT_EQ(cb.mass, ca.mass);
+}
+
 // --- scenario 5: dam break --------------------------------------------------
 
 TEST_P(GoldenGallery, DamBreakFrontWithinRitterBand)

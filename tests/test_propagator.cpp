@@ -53,12 +53,15 @@ TEST(PipelineFactory, PhaseOrderMatchesFig4Sequence)
     cfg.selfGravity = true;
     auto phases = PipelineFactory<double>::singleRank(cfg).phases();
 
-    // the full hydro+gravity force pipeline is exactly A..I, in Fig. 4 order
-    // (phase J brackets the pipeline in the driver's kick-drift-kick)
-    ASSERT_EQ(phases.size(), 9u);
-    for (std::size_t k = 0; k < phases.size(); ++k)
+    // the full hydro+gravity force pipeline is the L sfc-sort op (self-gated,
+    // a no-op unless cfg.sfcReorder / ClusterList mode asks for it) followed
+    // by exactly A..I in Fig. 4 order (phase J brackets the pipeline in the
+    // driver's kick-drift-kick)
+    ASSERT_EQ(phases.size(), 10u);
+    EXPECT_EQ(phases.front(), Phase::L_SfcSort);
+    for (std::size_t k = 1; k < phases.size(); ++k)
     {
-        EXPECT_EQ(int(phases[k]), int(k)) << "phase " << phaseName(phases[k]);
+        EXPECT_EQ(int(phases[k]), int(k - 1)) << "phase " << phaseName(phases[k]);
     }
 }
 
@@ -68,7 +71,7 @@ TEST(PipelineFactory, GravityPhaseSkippedWithoutSelfGravity)
     cfg.selfGravity = false;
     auto pipeline = PipelineFactory<double>::singleRank(cfg);
     EXPECT_FALSE(pipeline.hasPhase(Phase::I_SelfGravity));
-    EXPECT_EQ(pipeline.phases().size(), 8u); // A..H
+    EXPECT_EQ(pipeline.phases().size(), 9u); // L + A..H
 
     cfg.selfGravity = true;
     EXPECT_TRUE(PipelineFactory<double>::singleRank(cfg).hasPhase(Phase::I_SelfGravity));
