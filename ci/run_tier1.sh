@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the tier1-labeled CTest
-# suites (all GoogleTest suites + the quickstart smoke test carry the
-# label; see tests/CMakeLists.txt). Any red test fails the script
-# (set -e + ctest's non-zero exit on failure).
+# suites (all GoogleTest suites, the lint checks, and the quickstart smoke
+# test carry the label; see tests/CMakeLists.txt). Any red test fails the
+# script (set -e + ctest's non-zero exit on failure).
+#
+# Usage: ci/run_tier1.sh [--clean]
+#   --clean   wipe the build tree first; default is an incremental rebuild
+#             so local iteration (and CI's ccache leg) reuses prior objects
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-rm -rf build
+if [[ "${1:-}" == "--clean" ]]; then
+    rm -rf build
+fi
 
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -L tier1 --no-tests=error -j

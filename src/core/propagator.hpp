@@ -201,7 +201,8 @@ PhaseOp<T> neighborSearch()
                         }
                         else
                         {
-                            findNeighborsGlobal(ctx.tree, ps.x, ps.y, ps.z, ps.h, ctx.nl);
+                            findNeighborsGlobal(ctx.tree, ps.x, ps.y, ps.z, ps.h, ctx.nl,
+                                                ctx.loopPolicy(Phase::B_NeighborSearch));
                         }
                         ctx.activeParticles = ps.size();
                         break;
@@ -211,13 +212,15 @@ PhaseOp<T> neighborSearch()
                             ctx.walkIndices = ctx.controller->activeParticles(ps);
                         }
                         findNeighborsIndividual(ctx.tree, ps.x, ps.y, ps.z, ps.h,
-                                                ctx.walkIndices, ctx.nl);
+                                                ctx.walkIndices, ctx.nl,
+                                                ctx.loopPolicy(Phase::B_NeighborSearch));
                         ctx.activeParticles = ctx.walkIndices.size();
                         break;
                     case WalkMode::LocalIndices:
                         if (ctx.skipEmptyLocal()) return;
                         findNeighborsIndividual(ctx.tree, ps.x, ps.y, ps.z, ps.h,
-                                                ctx.walkIndices, ctx.nl);
+                                                ctx.walkIndices, ctx.nl,
+                                                ctx.loopPolicy(Phase::B_NeighborSearch));
                         ctx.activeParticles = ctx.walkIndices.size();
                         break;
                 }
@@ -358,7 +361,9 @@ PhaseOp<T> selfGravity()
     return {Phase::I_SelfGravity, [](StepContext<T>& ctx) {
                 if (!ctx.gravity) return; // distributed glue replicates instead
                 ctx.gravity->prepare(ctx.tree, ctx.ps, ctx.cfg.gravity);
-                ctx.potentialEnergy = ctx.gravity->accumulate(ctx.ps, &ctx.gravityStats);
+                ctx.potentialEnergy = ctx.gravity->accumulate(
+                    ctx.ps, &ctx.gravityStats, {},
+                    ctx.loopPolicy(Phase::I_SelfGravity));
             }};
 }
 

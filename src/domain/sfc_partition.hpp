@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "domain/box.hpp"
+#include "parallel/parallel_for.hpp"
 #include "tree/hilbert.hpp"
 #include "tree/morton.hpp"
 
@@ -36,11 +37,9 @@ SfcPartition<T> sfcPartition(std::span<const T> x, std::span<const T> y,
 {
     std::size_t n = x.size();
     std::vector<std::uint64_t> keys(n);
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < n; ++i)
-    {
+    parallelFor(n, [&](std::size_t i, std::size_t) {
         keys[i] = sfcKey(curve, Vec3<T>{x[i], y[i], z[i]}, domain);
-    }
+    });
 
     std::vector<std::size_t> order(n);
     std::iota(order.begin(), order.end(), std::size_t(0));

@@ -25,6 +25,7 @@
 #include "core/config.hpp"
 #include "domain/box.hpp"
 #include "ic/lattice.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/eos_wcsph.hpp"
 #include "sph/particles.hpp"
 
@@ -73,9 +74,7 @@ DamBreakSetup<T> makeDamBreak(ParticleSet<T>& ps, const DamBreakConfig<T>& cfg =
     // free surface: spurious tension is unphysical here, floor p at zero
     TaitEos<T> eos(cfg.rho0, c0, cfg.gamma, T(0));
 
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < n; ++i)
-    {
+    parallelFor(n, [&](std::size_t i, std::size_t) {
         ps.m[i]  = mass;
         ps.vx[i] = ps.vy[i] = ps.vz[i] = T(0);
         // hydrostatic column: p = rho0 g (H - y), rho from the inverse Tait
@@ -87,7 +86,7 @@ DamBreakSetup<T> makeDamBreak(ParticleSet<T>& ps, const DamBreakConfig<T>& cfg =
         ps.u[i]   = T(0); // Tait: internal energy is passive
         ps.h[i]   = T(2) * dx; // refined by the h iteration
         ps.c[i]   = c0;
-    }
+    });
 
     return {tank, eos, mass, dx, T(2) * std::sqrt(cfg.g * H)};
 }

@@ -20,6 +20,7 @@
 
 #include "domain/box.hpp"
 #include "ic/lattice.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/eos.hpp"
 #include "sph/particles.hpp"
 
@@ -77,9 +78,7 @@ EvrardSetup<T> makeEvrard(ParticleSet<T>& ps, const EvrardConfig<T>& cfg = {})
     T mass = cfg.M / T(n);
     constexpr unsigned targetNeighbors = 100; // paper: ~10^2 neighbors
 
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < n; ++i)
-    {
+    parallelFor(n, [&](std::size_t i, std::size_t) {
         ps.m[i]  = mass;
         ps.vx[i] = ps.vy[i] = ps.vz[i] = T(0); // initially static
         ps.u[i]  = cfg.u0;
@@ -90,7 +89,7 @@ EvrardSetup<T> makeEvrard(ParticleSet<T>& ps, const EvrardConfig<T>& cfg = {})
         // iteration refines this
         ps.h[i] = T(0.5) * std::cbrt(T(3) * T(targetNeighbors) * mass /
                                      (T(4) * std::numbers::pi_v<T> * ps.rho[i]));
-    }
+    });
 
     // The collapse stays within ~2R; give the open box generous margins.
     Box<T> box{{-3 * cfg.R, -3 * cfg.R, -3 * cfg.R}, {3 * cfg.R, 3 * cfg.R, 3 * cfg.R}};

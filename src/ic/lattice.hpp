@@ -11,6 +11,7 @@
 
 #include "domain/box.hpp"
 #include "math/rng.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/particles.hpp"
 
 namespace sphexa {
@@ -27,21 +28,18 @@ std::size_t cubicLattice(ParticleSet<T>& ps, std::size_t nx, std::size_t ny, std
     T dy = box.length(1) / T(ny);
     T dz = box.length(2) / T(nz);
 
-#pragma omp parallel for schedule(static) collapse(2)
-    for (std::size_t k = 0; k < nz; ++k)
-    {
-        for (std::size_t j = 0; j < ny; ++j)
+    // flattened (k, j) plane loop (the old collapse(2)); slot-idx writes
+    parallelFor(nz * ny, [&](std::size_t t, std::size_t) {
+        std::size_t k = t / ny, j = t % ny;
+        for (std::size_t i = 0; i < nx; ++i)
         {
-            for (std::size_t i = 0; i < nx; ++i)
-            {
-                std::size_t idx = (k * ny + j) * nx + i;
-                ps.x[idx] = box.lo.x + (T(i) + T(0.5)) * dx;
-                ps.y[idx] = box.lo.y + (T(j) + T(0.5)) * dy;
-                ps.z[idx] = box.lo.z + (T(k) + T(0.5)) * dz;
-                ps.id[idx] = idx;
-            }
+            std::size_t idx = (k * ny + j) * nx + i;
+            ps.x[idx] = box.lo.x + (T(i) + T(0.5)) * dx;
+            ps.y[idx] = box.lo.y + (T(j) + T(0.5)) * dy;
+            ps.z[idx] = box.lo.z + (T(k) + T(0.5)) * dz;
+            ps.id[idx] = idx;
         }
-    }
+    });
     return n;
 }
 

@@ -12,6 +12,7 @@
 
 #include "domain/box.hpp"
 #include "ic/lattice.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/eos.hpp"
 #include "sph/kernels.hpp"
 #include "sph/particles.hpp"
@@ -59,9 +60,7 @@ SedovSetup<T> makeSedov(ParticleSet<T>& ps, const SedovConfig<T>& cfg = {})
         wsum += k.value(r, hInj);
     }
 
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < n; ++i)
-    {
+    parallelFor(n, [&](std::size_t i, std::size_t) {
         ps.m[i]  = mass;
         ps.vx[i] = ps.vy[i] = ps.vz[i] = T(0);
         ps.rho[i] = cfg.rho0;
@@ -69,7 +68,7 @@ SedovSetup<T> makeSedov(ParticleSet<T>& ps, const SedovConfig<T>& cfg = {})
         T w = k.value(r, hInj);
         ps.u[i] = cfg.uBackground + (wsum > T(0) ? cfg.energy * w / (wsum * mass) : T(0));
         ps.h[i] = T(2) * dx;
-    }
+    });
 
     return {box, IdealGasEos<T>(cfg.gamma), mass, dx};
 }

@@ -21,6 +21,7 @@
 #include "domain/box.hpp"
 #include "ic/lattice.hpp"
 #include "math/series.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sph/eos.hpp"
 #include "sph/particles.hpp"
 
@@ -73,9 +74,7 @@ SquarePatchSetup<T> makeSquarePatch(ParticleSet<T>& ps, const SquarePatchConfig<
     T pFloor = cfg.tensileFloorFactor * pressure.centerValue();
     TaitEos<T> eos(cfg.rho0, c0, T(7), pFloor);
 
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < n; ++i)
-    {
+    parallelFor(n, [&](std::size_t i, std::size_t) {
         ps.m[i] = mass;
         // rigid rotation (paper eq. 1)
         ps.vx[i] = cfg.omega * ps.y[i];
@@ -87,7 +86,7 @@ SquarePatchSetup<T> makeSquarePatch(ParticleSet<T>& ps, const SquarePatchConfig<
         ps.u[i]   = T(0); // Tait EOS: internal energy is passive
         ps.h[i]   = T(2) * dx; // refined by the h iteration
         ps.c[i]   = c0;
-    }
+    });
 
     return {box, eos, mass, dx};
 }

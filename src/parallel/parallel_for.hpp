@@ -179,8 +179,38 @@ public:
         return pool;
     }
 
+    /// A standalone pool of \p n workers (including the calling thread).
+    /// parallelFor always uses instance(); standalone pools exist so the
+    /// lifecycle tests (and TSan) can exercise construct/run/destroy cycles
+    /// without touching the process-wide pool.
+    explicit WorkerPool(std::size_t n) : nWorkers_(n)
+    {
+        if (n == 0) throw std::invalid_argument("WorkerPool: size must be positive");
+        startThreads();
+    }
+
     /// Total workers, including the calling thread.
     std::size_t size() const { return nWorkers_; }
+
+    /// The pool size implied by the current OpenMP thread budget
+    /// (`OMP_NUM_THREADS` / omp_set_num_threads). instance() starts at this
+    /// size; callers that change the budget at runtime can follow it with
+    /// `resize(WorkerPool::defaultSize())`.
+    static std::size_t defaultSize()
+    {
+#ifdef _OPENMP
+        int n = omp_get_max_threads();
+        return n > 0 ? std::size_t(n) : 1;
+#else
+        if (const char* env = std::getenv("OMP_NUM_THREADS"))
+        {
+            long n = std::strtol(env, nullptr, 10);
+            if (n > 0) return std::size_t(n);
+        }
+        unsigned hc = std::thread::hardware_concurrency();
+        return hc > 0 ? hc : 1;
+#endif
+    }
 
     void resize(std::size_t n)
     {
@@ -219,25 +249,7 @@ public:
     WorkerPool& operator=(const WorkerPool&) = delete;
 
 private:
-    WorkerPool() : nWorkers_(defaultSize()) { startThreads(); }
-
-    /// Honor the OpenMP thread budget so `OMP_NUM_THREADS=k` sizes the pool
-    /// and the OpenMP regions (tree build, neighbor search) identically.
-    static std::size_t defaultSize()
-    {
-#ifdef _OPENMP
-        int n = omp_get_max_threads();
-        return n > 0 ? std::size_t(n) : 1;
-#else
-        if (const char* env = std::getenv("OMP_NUM_THREADS"))
-        {
-            long n = std::strtol(env, nullptr, 10);
-            if (n > 0) return std::size_t(n);
-        }
-        unsigned hc = std::thread::hardware_concurrency();
-        return hc > 0 ? hc : 1;
-#endif
-    }
+    WorkerPool() : WorkerPool(defaultSize()) {}
 
     void startThreads()
     {

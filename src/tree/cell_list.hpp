@@ -151,19 +151,15 @@ void findNeighborsCellList(std::type_identity_t<std::span<const T>> x, std::type
     cl.build(x, y, z, box, T(2) * hmax);
 
     std::size_t n = x.size();
-#pragma omp parallel
-    {
-        std::vector<Index> local;
-#pragma omp for schedule(dynamic, 64)
-        for (std::size_t i = 0; i < n; ++i)
-        {
-            local.clear();
-            cl.forEachNeighbor(Vec3<T>{x[i], y[i], z[i]}, T(2) * h[i], [&](Index j, T) {
-                if (j != Index(i)) local.push_back(j);
-            });
-            nl.set(i, local);
-        }
-    }
+    std::vector<std::vector<Index>> scratch(parallelForWorkers());
+    parallelFor(n, [&](std::size_t i, std::size_t w) {
+        auto& local = scratch[w];
+        local.clear();
+        cl.forEachNeighbor(Vec3<T>{x[i], y[i], z[i]}, T(2) * h[i], [&](Index j, T) {
+            if (j != Index(i)) local.push_back(j);
+        });
+        nl.set(i, local);
+    });
 }
 
 } // namespace sphexa

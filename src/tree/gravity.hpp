@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "sph/particles.hpp"
 #include "tree/multipole.hpp"
 #include "tree/octree.hpp"
@@ -54,15 +55,15 @@ public:
         multipoles_.resize(nNodes);
 
         const auto& order = tree.order();
-#pragma omp parallel for schedule(dynamic, 16)
-        for (std::size_t nIdx = 0; nIdx < nNodes; ++nIdx)
-        {
+        LoopPolicy policy;
+        policy.strategy = SchedulingStrategy::Guided; // node cost ~ particle count
+        parallelFor(nNodes, [&](std::size_t nIdx, std::size_t) {
             const auto& nd = tree.node(Index(nIdx));
             multipoles_[nIdx] =
                 computeMultipole<T>(ps.x, ps.y, ps.z, ps.m,
                                     std::span<const Index>(order.data() + nd.first, nd.count),
                                     params_.order);
-        }
+        }, policy);
     }
 
     /// Accumulate gravitational acceleration into ax/ay/az and return the
@@ -70,29 +71,45 @@ public:
     /// non-empty, only those particles receive forces (the distributed
     /// driver's per-rank walk and the workload probe use this).
     T accumulate(ParticleSet<T>& ps, GravityStats* stats = nullptr,
-                 std::span<const std::size_t> targets = {})
+                 std::span<const std::size_t> targets = {},
+                 const LoopPolicy& policy = {SchedulingStrategy::Guided})
     {
         std::size_t count = targets.empty() ? ps.size() : targets.size();
-        T totalPot = T(0);
-        std::size_t p2p = 0, m2p = 0;
 
-#pragma omp parallel for schedule(dynamic, 64) reduction(+ : totalPot, p2p, m2p)
-        for (std::size_t k = 0; k < count; ++k)
-        {
+        // Exact reduction, pool-size invariant: each target's potential
+        // contribution lands in slot k and the slots are summed serially in
+        // index order afterwards, so the total is bitwise identical for any
+        // pool size and scheduling strategy (the interaction COUNTS are
+        // integers, so per-worker slots suffice for them).
+        potScratch_.assign(count, T(0));
+        std::size_t nw = parallelForWorkers();
+        std::vector<WorkerSlot<GravityStats>> counts(nw);
+
+        parallelFor(count, [&](std::size_t k, std::size_t w) {
             std::size_t i = targets.empty() ? k : targets[k];
             Vec3<T> acc{};
             T pot = T(0);
-            walk(ps, i, acc, pot, p2p, m2p);
+            walk(ps, i, acc, pot, counts[w].value.p2pInteractions,
+                 counts[w].value.m2pInteractions);
             ps.ax[i] += params_.G * acc.x;
             ps.ay[i] += params_.G * acc.y;
             ps.az[i] += params_.G * acc.z;
-            totalPot += T(0.5) * ps.m[i] * params_.G * pot;
-        }
+            potScratch_[k] = T(0.5) * ps.m[i] * params_.G * pot;
+        }, policy);
+
+        T totalPot = T(0);
+        for (std::size_t k = 0; k < count; ++k)
+            totalPot += potScratch_[k];
 
         if (stats)
         {
-            stats->p2pInteractions = p2p;
-            stats->m2pInteractions = m2p;
+            stats->p2pInteractions = 0;
+            stats->m2pInteractions = 0;
+            for (const auto& c : counts)
+            {
+                stats->p2pInteractions += c.value.p2pInteractions;
+                stats->m2pInteractions += c.value.m2pInteractions;
+            }
         }
         return totalPot;
     }
@@ -103,11 +120,11 @@ public:
     {
         std::size_t n = ps.size();
         T eps2 = params.softening * params.softening;
-        T totalPot = T(0);
+        // per-particle potential slots + serial index-order sum: bitwise
+        // identical total for any pool size (same idiom as accumulate())
+        std::vector<T> pots(n, T(0));
 
-#pragma omp parallel for schedule(static) reduction(+ : totalPot)
-        for (std::size_t i = 0; i < n; ++i)
-        {
+        parallelFor(n, [&](std::size_t i, std::size_t) {
             Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
             Vec3<T> acc{};
             T pot = T(0);
@@ -124,8 +141,12 @@ public:
             ps.ax[i] = params.G * acc.x;
             ps.ay[i] = params.G * acc.y;
             ps.az[i] = params.G * acc.z;
-            totalPot += T(0.5) * ps.m[i] * params.G * pot;
-        }
+            pots[i] = T(0.5) * ps.m[i] * params.G * pot;
+        });
+
+        T totalPot = T(0);
+        for (std::size_t i = 0; i < n; ++i)
+            totalPot += pots[i];
         return totalPot;
     }
 
@@ -193,6 +214,7 @@ private:
     const Octree<T>* tree_{nullptr};
     GravityParams<T> params_{};
     std::vector<Multipole<T>> multipoles_;
+    std::vector<T> potScratch_; ///< per-target potential slots (exact reduction)
 };
 
 } // namespace sphexa

@@ -11,13 +11,19 @@
 /// Neighbor lists are stored flat with a fixed per-particle capacity
 /// (ngmax), the layout used by the production SPH-EXA mini-app; overflow is
 /// recorded rather than silently truncated.
+///
+/// The walks run through parallelFor (parallel/parallel_for.hpp) with
+/// per-worker scratch buffers: iteration i writes only list slot i, so the
+/// produced lists are bitwise identical for any pool size and strategy.
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "tree/octree.hpp"
 
 namespace sphexa {
@@ -88,8 +94,10 @@ public:
         count_[i] = c;
         if (nbs.size() > ngmax_)
         {
-#pragma omp atomic
-            ++overflow_;
+            // set() runs concurrently for distinct i from parallelFor
+            // workers; atomic_ref makes the shared overflow tally atomic
+            // while keeping the member a plain (copyable) size_t.
+            std::atomic_ref<std::size_t>(overflow_).fetch_add(1, std::memory_order_relaxed);
         }
     }
 
@@ -107,26 +115,24 @@ private:
 /// excluded from the list; SPH sums add the self contribution analytically.
 template<class T>
 void findNeighborsGlobal(const Octree<T>& tree, std::type_identity_t<std::span<const T>> x, std::type_identity_t<std::span<const T>> y,
-                         std::type_identity_t<std::span<const T>> z, std::type_identity_t<std::span<const T>> h, NeighborList<T>& nl)
+                         std::type_identity_t<std::span<const T>> z, std::type_identity_t<std::span<const T>> h, NeighborList<T>& nl,
+                         const LoopPolicy& policy = {})
 {
     using Index = typename Octree<T>::Index;
     std::size_t n = x.size();
-#pragma omp parallel
-    {
-        std::vector<Index> local;
-        local.reserve(nl.ngmax());
-#pragma omp for schedule(dynamic, 64)
-        for (std::size_t i = 0; i < n; ++i)
-        {
-            local.clear();
-            Vec3<T> pos{x[i], y[i], z[i]};
-            T radius = T(2) * h[i];
-            tree.forEachNeighbor(pos, radius, [&](Index j, T) {
-                if (j != Index(i)) local.push_back(j);
-            });
-            nl.set(i, local);
-        }
-    }
+    std::vector<std::vector<Index>> scratch(parallelForWorkers());
+    for (auto& s : scratch)
+        s.reserve(nl.ngmax());
+    parallelFor(n, [&](std::size_t i, std::size_t w) {
+        auto& local = scratch[w];
+        local.clear();
+        Vec3<T> pos{x[i], y[i], z[i]};
+        T radius = T(2) * h[i];
+        tree.forEachNeighbor(pos, radius, [&](Index j, T) {
+            if (j != Index(i)) local.push_back(j);
+        });
+        nl.set(i, local);
+    }, policy);
 }
 
 /// Fill neighbor lists only for the \p active particles ("individual tree
@@ -135,26 +141,23 @@ template<class T>
 void findNeighborsIndividual(const Octree<T>& tree, std::type_identity_t<std::span<const T>> x,
                              std::type_identity_t<std::span<const T>> y, std::type_identity_t<std::span<const T>> z,
                              std::type_identity_t<std::span<const T>> h, std::type_identity_t<std::span<const std::size_t>> active,
-                             NeighborList<T>& nl)
+                             NeighborList<T>& nl, const LoopPolicy& policy = {})
 {
     using Index = typename Octree<T>::Index;
-#pragma omp parallel
-    {
-        std::vector<Index> local;
-        local.reserve(nl.ngmax());
-#pragma omp for schedule(dynamic, 64)
-        for (std::size_t a = 0; a < active.size(); ++a)
-        {
-            std::size_t i = active[a];
-            local.clear();
-            Vec3<T> pos{x[i], y[i], z[i]};
-            T radius = T(2) * h[i];
-            tree.forEachNeighbor(pos, radius, [&](Index j, T) {
-                if (j != Index(i)) local.push_back(j);
-            });
-            nl.set(i, local);
-        }
-    }
+    std::vector<std::vector<Index>> scratch(parallelForWorkers());
+    for (auto& s : scratch)
+        s.reserve(nl.ngmax());
+    parallelFor(active.size(), [&](std::size_t a, std::size_t w) {
+        std::size_t i = active[a];
+        auto& local = scratch[w];
+        local.clear();
+        Vec3<T> pos{x[i], y[i], z[i]};
+        T radius = T(2) * h[i];
+        tree.forEachNeighbor(pos, radius, [&](Index j, T) {
+            if (j != Index(i)) local.push_back(j);
+        });
+        nl.set(i, local);
+    }, policy);
 }
 
 /// Brute-force O(N^2) reference used by tests and the neighbor ablation.
@@ -165,24 +168,20 @@ void findNeighborsBruteForce(std::type_identity_t<std::span<const T>> x, std::ty
 {
     using Index = typename Octree<T>::Index;
     std::size_t n = x.size();
-#pragma omp parallel
-    {
-        std::vector<Index> local;
-#pragma omp for schedule(static)
-        for (std::size_t i = 0; i < n; ++i)
+    std::vector<std::vector<Index>> scratch(parallelForWorkers());
+    parallelFor(n, [&](std::size_t i, std::size_t w) {
+        auto& local = scratch[w];
+        local.clear();
+        Vec3<T> pi{x[i], y[i], z[i]};
+        T r2 = T(4) * h[i] * h[i];
+        for (std::size_t j = 0; j < n; ++j)
         {
-            local.clear();
-            Vec3<T> pi{x[i], y[i], z[i]};
-            T r2 = T(4) * h[i] * h[i];
-            for (std::size_t j = 0; j < n; ++j)
-            {
-                if (j == i) continue;
-                Vec3<T> d = box.delta(pi, Vec3<T>{x[j], y[j], z[j]});
-                if (norm2(d) < r2) local.push_back(Index(j));
-            }
-            nl.set(i, local);
+            if (j == i) continue;
+            Vec3<T> d = box.delta(pi, Vec3<T>{x[j], y[j], z[j]});
+            if (norm2(d) < r2) local.push_back(Index(j));
         }
-    }
+        nl.set(i, local);
+    });
 }
 
 } // namespace sphexa

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "domain/box.hpp"
+#include "parallel/parallel_for.hpp"
 #include "tree/hilbert.hpp"
 #include "tree/morton.hpp"
 
@@ -74,10 +75,18 @@ public:
         keys_.resize(n_);
         order_.resize(n_);
 
-#pragma omp parallel for schedule(static) if (n_ > 4096)
-        for (std::size_t i = 0; i < n_; ++i)
+        // parallel key pass above the small-N threshold (slot-i writes, so
+        // the result is identical for any pool size); serial below it
+        if (n_ > 4096)
         {
-            keys_[i] = sfcKey(params.curve, Vec3<T>{x[i], y[i], z[i]}, box);
+            parallelFor(n_, [&](std::size_t i, std::size_t) {
+                keys_[i] = sfcKey(params.curve, Vec3<T>{x[i], y[i], z[i]}, box);
+            });
+        }
+        else
+        {
+            for (std::size_t i = 0; i < n_; ++i)
+                keys_[i] = sfcKey(params.curve, Vec3<T>{x[i], y[i], z[i]}, box);
         }
 
         std::iota(order_.begin(), order_.end(), Index(0));
@@ -218,12 +227,12 @@ private:
             // NOTE: nodes_ reallocation is not thread-safe; tasks therefore
             // build into private subtrees that are spliced afterwards.
             std::vector<std::vector<Node>> subtrees(nPending);
-#pragma omp parallel for schedule(dynamic, 1)
-            for (int i = 0; i < nPending; ++i)
-            {
+            LoopPolicy taskPolicy;
+            taskPolicy.strategy = SchedulingStrategy::SelfScheduling; // 1 subtree per chunk
+            parallelFor(std::size_t(nPending), [&](std::size_t i, std::size_t) {
                 subtrees[i] = buildSubtree(pending[i].first, pending[i].last,
                                            pending[i].base, depth + 1);
-            }
+            }, taskPolicy);
             for (int i = 0; i < nPending; ++i)
             {
                 spliceSubtree(pending[i].node, subtrees[i]);

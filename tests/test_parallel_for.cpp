@@ -77,6 +77,76 @@ TEST(WorkerPool, SurvivesRepeatedResizeAndReuse)
 TEST(WorkerPool, RejectsZeroSize)
 {
     EXPECT_THROW(WorkerPool::instance().resize(0), std::invalid_argument);
+    EXPECT_THROW(WorkerPool(0), std::invalid_argument);
+}
+
+// --- pool lifecycle ----------------------------------------------------------
+//
+// Standalone pools (not instance()) so construct/run/destroy cycles can be
+// exercised under TSan without disturbing the process-wide pool. These are
+// the tests that pin the startup/shutdown handshake: a worker that is slow
+// to reach its condition wait must neither miss the stop flag nor re-run a
+// stale job generation.
+
+TEST(WorkerPoolLifecycle, ConstructDestroyWithoutRunningAJob)
+{
+    // destruction races startup: threads may still be on their way to the
+    // first wait when stopThreads() flips the flag
+    for (int cycle = 0; cycle < 50; ++cycle)
+    {
+        WorkerPool pool(4);
+        EXPECT_EQ(pool.size(), 4u);
+    }
+}
+
+TEST(WorkerPoolLifecycle, RepeatedConstructRunDestroyCycles)
+{
+    for (int cycle = 0; cycle < 25; ++cycle)
+    {
+        for (std::size_t n : {1u, 2u, 4u})
+        {
+            WorkerPool pool(n);
+            std::atomic<int> count{0};
+            pool.run([&](std::size_t) { count.fetch_add(1); });
+            EXPECT_EQ(count.load(), int(n));
+        }
+    }
+}
+
+TEST(WorkerPoolLifecycle, BackToBackJobsReuseTheSameThreads)
+{
+    WorkerPool pool(3);
+    std::vector<std::atomic<int>> hits(3);
+    for (int job = 0; job < 100; ++job)
+    {
+        pool.run([&](std::size_t w) { hits[w].fetch_add(1); });
+    }
+    for (std::size_t w = 0; w < 3; ++w)
+    {
+        EXPECT_EQ(hits[w].load(), 100) << "worker " << w;
+    }
+}
+
+TEST(WorkerPoolLifecycle, DefaultSizeFollowsOmpThreadBudget)
+{
+#ifdef _OPENMP
+    int saved = omp_get_max_threads();
+    omp_set_num_threads(3);
+    EXPECT_EQ(WorkerPool::defaultSize(), 3u);
+
+    // the documented idiom for following a runtime budget change
+    PoolSizeGuard guard(1);
+    WorkerPool::instance().resize(WorkerPool::defaultSize());
+    EXPECT_EQ(WorkerPool::instance().size(), 3u);
+    std::atomic<int> count{0};
+    WorkerPool::instance().run([&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 3);
+
+    omp_set_num_threads(saved);
+#else
+    // without OpenMP the budget comes from the environment
+    EXPECT_GE(WorkerPool::defaultSize(), 1u);
+#endif
 }
 
 // --- parallelFor coverage ----------------------------------------------------
@@ -123,6 +193,20 @@ TEST(ParallelFor, EmptyLoopIsANoop)
     pol.stats = &stats;
     parallelFor(0, [&](std::size_t, std::size_t) { FAIL() << "body ran"; }, pol);
     EXPECT_EQ(stats.invocations, 0u);
+}
+
+TEST(ParallelFor, EmptyLoopIsANoopUnderEveryStrategyAndPoolSize)
+{
+    for (std::size_t pool : {1u, 4u})
+    {
+        PoolSizeGuard guard(pool);
+        for (auto s : kAllStrategies)
+        {
+            LoopPolicy pol;
+            pol.strategy = s;
+            parallelFor(0, [&](std::size_t, std::size_t) { FAIL() << "body ran"; }, pol);
+        }
+    }
 }
 
 // --- busy-time accounting ----------------------------------------------------

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# clang-tidy driver over src/ (config in .clang-tidy at the repo root).
+#
+# The library is header-only, so headers are checked through the TUs that
+# include them (tests/, bench/, examples/, src/core/version.cpp) with
+# HeaderFilterRegex selecting src/. Requires a configured build tree with
+# compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default).
+#
+# Usage:
+#   tools/run_clang_tidy.sh [-B build] [--changed [BASE]] [--] [extra tidy args]
+#     -B DIR       build tree holding compile_commands.json (default: build)
+#     --changed    only check TUs touching files changed vs BASE
+#                  (default BASE: origin/main); used by the CI lint job
+#
+# Exit: 0 clean or skipped (clang-tidy not installed), 1 findings, 2 usage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD=build
+CHANGED=""
+BASE="origin/main"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        -B) BUILD="$2"; shift 2 ;;
+        --changed)
+            CHANGED=1
+            if [[ $# -gt 1 && "$2" != -* ]]; then BASE="$2"; shift; fi
+            shift ;;
+        --) shift; break ;;
+        *) echo "usage: $0 [-B build] [--changed [BASE]]" >&2; exit 2 ;;
+    esac
+done
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run_clang_tidy: $TIDY not installed - SKIP (CI runs the real pass)"
+    exit 0
+fi
+
+if [[ ! -f "$BUILD/compile_commands.json" ]]; then
+    echo "run_clang_tidy: $BUILD/compile_commands.json missing - configure first:" >&2
+    echo "  cmake -B $BUILD -S ." >&2
+    exit 2
+fi
+
+# TU set: every .cpp the build knows about.
+mapfile -t TUS < <(python3 - "$BUILD/compile_commands.json" <<'EOF'
+import json, sys
+for e in json.load(open(sys.argv[1])):
+    f = e["file"]
+    if "_deps" not in f and "/_gtest/" not in f:
+        print(f)
+EOF
+)
+
+if [[ -n "$CHANGED" ]]; then
+    mapfile -t DIFF < <(git diff --name-only "$BASE" -- '*.hpp' '*.cpp' || true)
+    if [[ ${#DIFF[@]} -eq 0 ]]; then
+        echo "run_clang_tidy: no C++ changes vs $BASE - nothing to check"
+        exit 0
+    fi
+    # keep TUs that are changed themselves or textually include a changed header
+    FILTERED=()
+    for tu in "${TUS[@]}"; do
+        keep=""
+        for d in "${DIFF[@]}"; do
+            if [[ "$tu" == *"$d" ]] || grep -q "$(basename "$d")" "$tu" 2>/dev/null; then
+                keep=1; break
+            fi
+        done
+        [[ -n "$keep" ]] && FILTERED+=("$tu")
+    done
+    TUS=("${FILTERED[@]}")
+    echo "run_clang_tidy: ${#TUS[@]} TU(s) touch the ${#DIFF[@]} changed file(s)"
+fi
+
+if [[ ${#TUS[@]} -eq 0 ]]; then
+    echo "run_clang_tidy: empty TU set"
+    exit 0
+fi
+
+STATUS=0
+for tu in "${TUS[@]}"; do
+    echo "--- $tu"
+    "$TIDY" -p "$BUILD" --quiet "$@" "$tu" || STATUS=1
+done
+
+if [[ $STATUS -eq 0 ]]; then
+    echo "run_clang_tidy: clean (${#TUS[@]} TUs)"
+fi
+exit $STATUS
