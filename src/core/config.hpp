@@ -146,6 +146,13 @@ struct SimulationConfig
     GradientMode gradients = GradientMode::IAD;
     VolumeElements volumeElements = VolumeElements::Generalized;
     T veExponent = T(0.9);
+    /// Time-step control (sph/timestep.hpp). Individual mode together with
+    /// IndividualTreeWalk below selects the binned-integration pipeline
+    /// (PipelineFactory::individual + the shared-memory driver's binned
+    /// kick/drift path): forces are recomputed only for the active 2^k bins
+    /// while the rest of the set is drifted. Individual mode with a global
+    /// walk, or any non-Compressible hydroMode, degenerates to global
+    /// stepping at the controller's base dt.
     TimestepParams<T> timestep{};
     NeighborMode neighborMode = NeighborMode::GlobalTreeWalk;
 

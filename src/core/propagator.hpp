@@ -227,21 +227,28 @@ PhaseOp<T> neighborSearch()
             }};
 }
 
+/// \param activeSubsetIterates whether an ActiveSubset walk runs the h
+/// iteration over the active set (the binned-integration pipeline, where
+/// every subset step is a real force evaluation for its active particles)
+/// or reuses the converged h of the last full walk (the legacy behaviour,
+/// kept as the default for bespoke subset pipelines).
 template<class T>
-PhaseOp<T> smoothingLength()
+PhaseOp<T> smoothingLength(bool activeSubsetIterates = false)
 {
-    return {Phase::C_SmoothingLength, [](StepContext<T>& ctx) {
-                // subset steps reuse the converged h of the last full walk
-                // (ChaNGa-style individual time-stepping)
-                if (ctx.walkMode == WalkMode::ActiveSubset) return;
-                if (ctx.skipEmptyLocal()) return;
+    return {Phase::C_SmoothingLength, [activeSubsetIterates](StepContext<T>& ctx) {
+                if (ctx.walkMode == WalkMode::ActiveSubset && !activeSubsetIterates)
+                {
+                    return;
+                }
+                if (ctx.skipEmptyWalk()) return;
                 SmoothingLengthParams<T> hp;
                 hp.targetNeighbors = ctx.cfg.targetNeighbors;
                 hp.tolerance       = ctx.cfg.neighborTolerance;
                 // phase B just filled the lists for the current h (all
                 // particles in Global mode, the rank's owned particles in
-                // LocalIndices mode), so the iteration never repeats the
-                // initial walk — one shared h path for both drivers
+                // LocalIndices mode, the controller's active bins in
+                // ActiveSubset mode), so the iteration never repeats the
+                // initial walk — one shared h path for all drivers
                 auto hres = updateSmoothingLengths(ctx.ps, ctx.tree, ctx.nl, hp,
                                                    ctx.activeSpan(), /*reuseLists*/ true,
                                                    ctx.loopPolicy(Phase::C_SmoothingLength));
@@ -253,12 +260,16 @@ template<class T>
 PhaseOp<T> neighborSymmetrize()
 {
     return {Phase::D_NeighborSymmetrize, [](StepContext<T>& ctx) {
-                if (ctx.skipEmptyLocal())
+                if (ctx.skipEmptyWalk())
                 {
                     ctx.neighborInteractions = 0;
                     ctx.neighborOverflow     = 0;
                     return;
                 }
+                // ActiveSubset lists are deliberately NOT symmetrized: an
+                // inactive neighbor's list is stale by construction, so
+                // pairwise antisymmetry only holds at full synchronizations
+                // (where conservation is measured) — ChaNGa's trade-off.
                 if (ctx.walkMode == WalkMode::Global && ctx.cfg.symmetrizeNeighbors)
                 {
                     symmetrizeNeighborList(
@@ -269,18 +280,19 @@ PhaseOp<T> neighborSymmetrize()
                 // re-walk, the symmetrize pass appends): snapshot overflow
                 // here so the report reflects the lists the SPH sums read
                 ctx.neighborOverflow = ctx.nl.overflowCount();
-                // interaction counter: owned particles only on a rank
-                // (remote pairs arrive via the halo), whole list otherwise
-                if (ctx.walkMode == WalkMode::LocalIndices)
+                // interaction counter: walked particles only when a subset
+                // was searched (other entries are stale/ghost), whole list
+                // on a global walk
+                if (ctx.walkMode == WalkMode::Global)
+                {
+                    ctx.neighborInteractions = ctx.nl.totalNeighbors();
+                }
+                else
                 {
                     std::size_t inter = 0;
                     for (std::size_t i : ctx.walkIndices)
                         inter += ctx.nl.count(i);
                     ctx.neighborInteractions = inter;
-                }
-                else
-                {
-                    ctx.neighborInteractions = ctx.nl.totalNeighbors();
                 }
             }};
 }
@@ -289,7 +301,7 @@ template<class T>
 PhaseOp<T> density()
 {
     return {Phase::E_Density, [](StepContext<T>& ctx) {
-                if (ctx.skipEmptyLocal()) return;
+                if (ctx.skipEmptyWalk()) return;
                 auto pol = ctx.loopPolicy(Phase::E_Density);
                 // the near-free uniform VE loop must not adapt the AWF
                 // weights the neighbor-bound density sum is calibrated by —
@@ -306,7 +318,7 @@ template<class T>
 PhaseOp<T> eosAndIad()
 {
     return {Phase::F_EosAndIad, [](StepContext<T>& ctx) {
-                if (ctx.skipEmptyLocal()) return;
+                if (ctx.skipEmptyWalk()) return;
                 auto& ps  = ctx.ps;
                 auto act  = ctx.activeSpan();
                 auto pol  = ctx.loopPolicy(Phase::F_EosAndIad);
@@ -336,7 +348,7 @@ template<class T>
 PhaseOp<T> divCurl()
 {
     return {Phase::G_DivCurl, [](StepContext<T>& ctx) {
-                if (ctx.skipEmptyLocal()) return;
+                if (ctx.skipEmptyWalk()) return;
                 computeDivCurl(ctx.ps, ctx.nl, ctx.kernel, ctx.box, ctx.cfg.gradients,
                                ctx.activeSpan(), ctx.loopPolicy(Phase::G_DivCurl));
             }};
@@ -346,7 +358,7 @@ template<class T>
 PhaseOp<T> momentumEnergy()
 {
     return {Phase::H_MomentumEnergy, [](StepContext<T>& ctx) {
-                if (ctx.skipEmptyLocal()) return;
+                if (ctx.skipEmptyWalk()) return;
                 auto stats = computeMomentumEnergy(ctx.ps, ctx.nl, ctx.kernel, ctx.box,
                                                    ctx.cfg.gradients, ctx.cfg.av,
                                                    ctx.activeSpan(),
@@ -360,9 +372,14 @@ PhaseOp<T> selfGravity()
 {
     return {Phase::I_SelfGravity, [](StepContext<T>& ctx) {
                 if (!ctx.gravity) return; // distributed glue replicates instead
+                if (ctx.skipEmptyWalk()) return;
                 ctx.gravity->prepare(ctx.tree, ctx.ps, ctx.cfg.gravity);
+                // active-subset steps accelerate the walked targets only; the
+                // accumulated potential is then partial, so conservation
+                // diagnostics read it at full synchronizations (where the
+                // span is the whole set). Empty span = all (Global walks).
                 ctx.potentialEnergy = ctx.gravity->accumulate(
-                    ctx.ps, &ctx.gravityStats, {},
+                    ctx.ps, &ctx.gravityStats, ctx.activeSpan(),
                     ctx.loopPolicy(Phase::I_SelfGravity));
             }};
 }
@@ -463,11 +480,37 @@ public:
         return custom(std::move(ops));
     }
 
+    /// Binned-integration ("individual time-stepping") pipeline: the hydro
+    /// phases with every post-search op running over the controller's
+    /// active bins. Phase B fills the active set (the force/kick-end set,
+    /// see sph/timestep.hpp) and walks it individually; phase C iterates h
+    /// for the active particles; D..H(..I) evaluate densities, gradients
+    /// and forces for the subset only, while inactive particles are merely
+    /// drifted by the driver. The paper's Table 1/2 ChaNGa row.
+    static Propagator<T> individual(const SimulationConfig<T>& cfg)
+    {
+        std::vector<PhaseOp<T>> ops{
+            phase_ops::sfcReorder<T>(), phase_ops::treeBuild<T>(),
+            phase_ops::neighborSearch<T>(),
+            phase_ops::smoothingLength<T>(/*activeSubsetIterates*/ true),
+            phase_ops::neighborSymmetrize<T>(), phase_ops::density<T>(),
+            phase_ops::eosAndIad<T>(), phase_ops::divCurl<T>(),
+            phase_ops::momentumEnergy<T>()};
+        if (cfg.selfGravity) ops.push_back(phase_ops::selfGravity<T>());
+        return custom(std::move(ops));
+    }
+
     /// Shared-memory pipeline for a configuration: the scenario (gravity or
-    /// not, compressible or WCSPH) selects the phase list.
+    /// not, compressible or WCSPH, binned integration or global steps)
+    /// selects the phase list.
     static Propagator<T> singleRank(const SimulationConfig<T>& cfg)
     {
         if (cfg.hydroMode == HydroMode::WeaklyCompressible) return wcsph(cfg);
+        if (cfg.timestep.mode == TimesteppingMode::Individual &&
+            cfg.neighborMode == NeighborMode::IndividualTreeWalk)
+        {
+            return individual(cfg);
+        }
         return cfg.selfGravity ? hydroGravity() : hydro();
     }
 

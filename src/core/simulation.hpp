@@ -110,18 +110,28 @@ public:
     /// time-step controller. When \p maxVsignal is supplied, the
     /// checkpointed accelerations/du are reused (no force recomputation)
     /// and the continuation is bit-identical to an uninterrupted run.
+    /// Individual-mode restarts additionally pass the controller's base
+    /// step and cycle anchor (controller().baseDt()/cycleStart() at write
+    /// time) so the 2^k activity schedule resumes mid-cycle exactly; the
+    /// bin hierarchy itself rides in the serialized ps.bin/ps.dt fields and
+    /// is re-derived here via restoreBins().
     void restoreFromCheckpoint(T time, std::uint64_t step, T lastDt = T(0),
-                               std::optional<T> maxVsignal = {})
+                               std::optional<T> maxVsignal = {}, T baseDt = T(0),
+                               std::uint64_t cycleStart = 0)
     {
         time_      = time;
         stepCount_ = step;
-        controller_.restore(step, lastDt);
+        controller_.restore(step, lastDt, baseDt, cycleStart);
+        controller_.restoreBins(ps_);
         if (maxVsignal)
         {
             maxVsignal_  = *maxVsignal;
             forcesValid_ = true;
         }
     }
+
+    /// The time-step controller (bin schedule, sync state — read-only).
+    const TimestepController<T>& timestepController() const { return controller_; }
 
     /// Compute forces for the current positions (phases A..I) by running
     /// the force pipeline. Must be called once before the first step();
@@ -162,10 +172,24 @@ public:
         PhaseLoadStats jLoad;
         jPolicy.stats = &jLoad;
 
+        bool binned = binnedIntegration();
+
         Timer t;
         // --- phase J (part 1): new time-step, first kick + drift ---
         T dtStep = controller_.advance(ps_, maxVsignal_, jPolicy);
-        kickDrift(ps_, dtStep, box_, jPolicy);
+        if (binned)
+        {
+            // binned leapfrog: only particles whose interval starts now get
+            // the opening half-kick (with their OWN ps.dt), then everyone
+            // drifts by the base step — the prediction of inactive
+            // particles the active subset's kernels read
+            kickStartIndividual(ps_, controller_.kickStartSet(ps_), jPolicy);
+            driftAll(ps_, dtStep, box_, eos_.isIdealGas(), jPolicy);
+        }
+        else
+        {
+            kickDrift(ps_, dtStep, box_, jPolicy);
+        }
         double jTime = t.lap();
 
         // forces at the new positions (phases A..I), tagged with the step
@@ -174,7 +198,17 @@ public:
 
         // --- phase J (part 2): second kick + energy update ---
         t.reset();
-        kickEnergy(ps_, dtStep, eos_.isIdealGas(), jPolicy);
+        if (binned)
+        {
+            // close the intervals that end here: the force pass just walked
+            // exactly this set (phase B queried the controller at the
+            // post-increment step counter — the force/kick-end convention)
+            kickEndIndividual(ps_, lastWalkIndices_, eos_.isIdealGas(), jPolicy);
+        }
+        else
+        {
+            kickEnergy(ps_, dtStep, eos_.isIdealGas(), jPolicy);
+        }
         time_ += dtStep;
         ++stepCount_;
         jTime += t.lap();
@@ -209,6 +243,18 @@ public:
     }
 
 private:
+    /// Whether this driver runs the binned (individual time-stepping)
+    /// leapfrog: Individual bins + active-subset walks, compressible hydro
+    /// only (the WCSPH ghost bracket would put mirror particles into the
+    /// active set; that combination falls back to global stepping at the
+    /// controller's base dt).
+    bool binnedIntegration() const
+    {
+        return cfg_.hydroMode == HydroMode::Compressible &&
+               cfg_.timestep.mode == TimesteppingMode::Individual &&
+               cfg_.neighborMode == NeighborMode::IndividualTreeWalk;
+    }
+
     /// One force-pipeline pass; \p stepId tags the report and the emitted
     /// phase events (the current step for standalone computeForces(), the
     /// upcoming one inside advance()).
@@ -225,12 +271,19 @@ private:
         ctx.awf        = &awf_; // AWF weights persist across the driver's steps
         ctx.sorter     = &sorter_;    // phase L key/perm buffers persist too,
         ctx.clusters   = &clusterWs_; // as does the cluster-search scratch
-        bool subset    = cfg_.neighborMode == NeighborMode::IndividualTreeWalk &&
-                      controller_.stepCount() > 0;
+        // active-subset walks only under the binned integrator: mixing a
+        // subset force pass with the global kick (stale du on inactive
+        // particles) would silently violate the trapezoid energy update, so
+        // every non-binned combination runs full global walks
+        bool subset  = binnedIntegration() && controller_.stepCount() > 0;
         ctx.walkMode = subset ? WalkMode::ActiveSubset : WalkMode::Global;
 
         if (log_) log_->beginStep(stepId);
         pipeline_.run(ctx, rep, log_, /*rank*/ 0);
+
+        // keep the walked set: on a binned step this is the force/kick-end
+        // set advance() closes right after this pass (empty on Global walks)
+        lastWalkIndices_ = std::move(ctx.walkIndices);
 
         if (rep.neighborOverflow > 0)
         {
@@ -260,6 +313,7 @@ private:
     AwfWeightStore awf_; ///< per-phase AWF weights, adapted across steps
     SfcSorter<T> sorter_;           ///< phase L buffers, persist across steps
     ClusterWorkspace<T> clusterWs_; ///< cluster-search scratch, persists too
+    std::vector<std::size_t> lastWalkIndices_; ///< last force pass's walked set
     PhaseEventLog* log_{nullptr};
 
     T time_{0};

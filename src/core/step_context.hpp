@@ -165,6 +165,19 @@ struct StepContext
     {
         return walkMode == WalkMode::LocalIndices && walkIndices.empty();
     }
+
+    /// The post-search variant for phases C..I: once phase B has filled
+    /// walkIndices, an empty ActiveSubset is a genuinely empty force set
+    /// (every bin-0 particle was promoted at an interval boundary), NOT
+    /// "all" — running a kernel with the empty-span convention there would
+    /// overwrite the stashed mid-interval du/dt of inactive particles.
+    /// Phases before B (tree build, ghost bracket) must keep skipEmptyLocal().
+    bool skipEmptyWalk() const
+    {
+        return (walkMode == WalkMode::LocalIndices ||
+                walkMode == WalkMode::ActiveSubset) &&
+               walkIndices.empty();
+    }
 };
 
 /// One runner-emitted phase timing event. The pipeline runner records these

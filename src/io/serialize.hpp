@@ -81,7 +81,10 @@ void readRaw(const std::vector<std::byte>& buf, std::size_t& cursor, T* data,
 
 } // namespace detail
 
-inline constexpr std::uint64_t serializeMagic = 0x5350484558410001ULL; // "SPHEXA"+v1
+// "SPHEXA" + format version; v2 added the per-particle signal velocity
+// field (ParticleSet::vsig) to the canonical real-field list, so v1
+// checkpoints fail loudly on the magic instead of misaligning field data.
+inline constexpr std::uint64_t serializeMagic = 0x5350484558410002ULL;
 
 /// Serialize the particle set (plus simulation time and step) to bytes.
 template<class T>

@@ -66,4 +66,76 @@ void kickEnergy(ParticleSet<T>& ps, T dtStep, bool enforcePositiveU = true,
         policy);
 }
 
+/// Binned (individual time-step) leapfrog, interval-opening half: for every
+/// particle whose integration interval starts now, kick the velocity by its
+/// OWN half step a * ps.dt[i]/2 and stash the interval-start du/dt. The
+/// stash makes the interval-closing energy update in kickEndIndividual() a
+/// trapezoid over the particle's full interval: the base-step drifts
+/// contribute du_start * dt_i in total, and the closing correction
+/// (du_end - du_start) * dt_i / 2 turns that into (du_start + du_end)/2 * dt_i.
+template<class T>
+void kickStartIndividual(ParticleSet<T>& ps, std::span<const std::size_t> starting,
+                         const LoopPolicy& policy = {})
+{
+    parallelFor(
+        starting.size(),
+        [&](std::size_t idx, std::size_t) {
+            std::size_t i = starting[idx];
+            T half = T(0.5) * ps.dt[i];
+            ps.vx[i] += ps.ax[i] * half;
+            ps.vy[i] += ps.ay[i] * half;
+            ps.vz[i] += ps.az[i] * half;
+            ps.du_m1[i] = ps.du[i];
+        },
+        policy);
+}
+
+/// Binned leapfrog, base-step drift of EVERY particle: positions move with
+/// the half-kicked velocity, and the internal energy is predicted forward
+/// with the frozen interval-start du/dt — this is the "inactive particles
+/// are extrapolated" half of multi-time-stepping: a mid-interval particle
+/// still presents time-consistent x/v/u to its active neighbors' kernels.
+template<class T>
+void driftAll(ParticleSet<T>& ps, T dtBase, const Box<T>& box,
+              bool enforcePositiveU = true, const LoopPolicy& policy = {})
+{
+    parallelFor(
+        ps.size(),
+        [&](std::size_t i, std::size_t) {
+            Vec3<T> p{ps.x[i] + ps.vx[i] * dtBase, ps.y[i] + ps.vy[i] * dtBase,
+                      ps.z[i] + ps.vz[i] * dtBase};
+            p = box.wrap(p);
+            ps.x[i] = p.x;
+            ps.y[i] = p.y;
+            ps.z[i] = p.z;
+
+            ps.u[i] += ps.du[i] * dtBase;
+            if (enforcePositiveU && ps.u[i] < T(0)) ps.u[i] = T(1e-30);
+        },
+        policy);
+}
+
+/// Binned leapfrog, interval-closing half: for every particle whose interval
+/// ends now (fresh forces just computed over this set), close the velocity
+/// kick with the new acceleration and correct the predicted energy from the
+/// rectangle du_start * dt_i to the trapezoid — see kickStartIndividual().
+template<class T>
+void kickEndIndividual(ParticleSet<T>& ps, std::span<const std::size_t> ending,
+                       bool enforcePositiveU = true, const LoopPolicy& policy = {})
+{
+    parallelFor(
+        ending.size(),
+        [&](std::size_t idx, std::size_t) {
+            std::size_t i = ending[idx];
+            T half = T(0.5) * ps.dt[i];
+            ps.vx[i] += ps.ax[i] * half;
+            ps.vy[i] += ps.ay[i] * half;
+            ps.vz[i] += ps.az[i] * half;
+
+            ps.u[i] += (ps.du[i] - ps.du_m1[i]) * half;
+            if (enforcePositiveU && ps.u[i] < T(0)) ps.u[i] = T(1e-30);
+        },
+        policy);
+}
+
 } // namespace sphexa

@@ -71,6 +71,7 @@ MomentumEnergyStats<T> computeMomentumEnergy(ParticleSet<T>& ps, const NeighborL
         count,
         [&](std::size_t idx, std::size_t worker) {
         T maxVsig = workerVsig[worker].value;
+        T vsigI   = T(0); ///< this particle's own max over its pairs
         std::size_t i = active.empty() ? idx : active[idx];
         Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
         Vec3<T> vi{ps.vx[i], ps.vy[i], ps.vz[i]};
@@ -123,6 +124,7 @@ MomentumEnergyStats<T> computeMomentumEnergy(ParticleSet<T>& ps, const NeighborL
             T cbar  = T(0.5) * (ps.c[i] + ps.c[j]);
             T vsig  = ps.c[i] + ps.c[j] - T(3) * std::min(T(0), vdotr / r);
             maxVsig = std::max(maxVsig, vsig);
+            vsigI   = std::max(vsigI, vsig);
             if (vdotr < T(0))
             {
                 T hbar   = T(0.5) * (ps.h[i] + ps.h[j]);
@@ -140,6 +142,11 @@ MomentumEnergyStats<T> computeMomentumEnergy(ParticleSet<T>& ps, const NeighborL
         ps.ay[i] = acc.y;
         ps.az[i] = acc.z;
         ps.du[i] = du;
+        // per-particle CFL input (individual time-stepping reads this so a
+        // quiet particle is not clamped by the loudest shock in the box);
+        // the per-worker max below is a superset, so recording it does not
+        // change the global reduction bitwise
+        ps.vsig[i] = vsigI;
         workerVsig[worker].value = maxVsig;
         },
         policy);

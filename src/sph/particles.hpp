@@ -48,6 +48,9 @@ public:
     std::vector<T> curlv;  ///< |velocity curl| (Balsara switch input)
     std::vector<T> balsara;///< Balsara limiter value in [0, 1]
     std::vector<T> dt;     ///< per-particle time-step (individual stepping)
+    std::vector<T> vsig;   ///< max signal velocity seen by this particle in
+                           ///< its last force pass (per-particle CFL input;
+                           ///< zero until the first momentum/energy pass)
 
     // --- IAD gradient coefficients (symmetric 3x3 inverse, 6 components) ---
     std::vector<T> c11, c12, c13, c22, c23, c33;
@@ -89,7 +92,8 @@ public:
     {
         return {&x,   &y,   &z,    &vx,    &vy,     &vz,  &ax,  &ay,  &az,  &m,
                 &h,   &rho, &p,    &c,     &u,      &du,  &du_m1, &gradh, &xmass, &vol,
-                &divv, &curlv, &balsara, &dt, &c11, &c12, &c13, &c22, &c23, &c33};
+                &divv, &curlv, &balsara, &dt, &c11, &c12, &c13, &c22, &c23, &c33,
+                &vsig};
     }
 
     std::vector<const std::vector<T>*> realFields() const
@@ -104,7 +108,8 @@ public:
         static const std::vector<std::string> names = {
             "x",   "y",   "z",    "vx",    "vy",     "vz",  "ax",  "ay",  "az",  "m",
             "h",   "rho", "p",    "c",     "u",      "du",  "du_m1", "gradh", "xmass", "vol",
-            "divv", "curlv", "balsara", "dt", "c11", "c12", "c13", "c22", "c23", "c33"};
+            "divv", "curlv", "balsara", "dt", "c11", "c12", "c13", "c22", "c23", "c33",
+            "vsig"};
         return names;
     }
 

@@ -7,10 +7,13 @@
 
 #include <filesystem>
 
+#include "core/simulation.hpp"
 #include "ft/checkpoint.hpp"
 #include "ft/daly.hpp"
 #include "ft/replication.hpp"
 #include "ft/sdc.hpp"
+#include "ic/evrard.hpp"
+#include "io/serialize.hpp"
 #include "math/rng.hpp"
 
 using namespace sphexa;
@@ -125,6 +128,119 @@ TEST(Checkpoint, StatsAccumulate)
     EXPECT_EQ(ck.stats().memoryWrites, 1u);
     EXPECT_EQ(ck.stats().diskWrites, 1u);
     EXPECT_GT(ck.stats().bytesWritten, 40u * 30u * 8u); // ~fields * particles
+}
+
+// --- individual-mode restart ------------------------------------------------------
+
+namespace {
+
+Simulation<double> makeBinnedEvrard()
+{
+    ParticleSetD ps;
+    EvrardConfig<double> ic;
+    ic.nSide   = 10;
+    auto setup = makeEvrard(ps, ic);
+    SimulationConfig<double> cfg;
+    cfg.timestep.mode     = TimesteppingMode::Individual;
+    cfg.neighborMode      = NeighborMode::IndividualTreeWalk;
+    cfg.selfGravity       = true;
+    cfg.gravity.G         = 1.0;
+    cfg.gravity.theta     = 0.5;
+    cfg.gravity.softening = 0.02;
+    cfg.targetNeighbors   = 60;
+    cfg.neighborTolerance = 10;
+    return Simulation<double>(std::move(ps), setup.box, Eos<double>(setup.eos), cfg);
+}
+
+} // namespace
+
+TEST(Checkpoint, IndividualRestartRestoresBaseDt)
+{
+    // Regression: restore() used to drop baseDt_, leaving it 0 after an
+    // Individual-mode restart — every bin-relative quantity (snapped dt,
+    // sync detection) was stale or divided by zero until the next advance.
+    auto sim = makeBinnedEvrard();
+    sim.computeForces();
+    for (int i = 0; i < 5; ++i)
+        sim.advance();
+    const auto& ctl = sim.timestepController();
+    ASSERT_GT(ctl.baseDt(), 0.0);
+
+    auto resumed = makeBinnedEvrard();
+    resumed.particles() = sim.particles();
+    resumed.restoreFromCheckpoint(sim.time(), sim.step(), ctl.currentDt(),
+                                  sim.maxVsignal(), ctl.baseDt(), ctl.cycleStart());
+    const auto& rctl = resumed.timestepController();
+    EXPECT_DOUBLE_EQ(rctl.baseDt(), ctl.baseDt());
+    EXPECT_EQ(rctl.cycleStart(), ctl.cycleStart());
+    EXPECT_EQ(rctl.maxUsedBin(), ctl.maxUsedBin());
+    EXPECT_EQ(rctl.atFullSync(), ctl.atFullSync());
+}
+
+TEST(Checkpoint, IndividualMidCycleRoundTripContinuesBitwise)
+{
+    // Serialize/checkpoint round-trip of ps.dt and ps.bin MID bin-cycle:
+    // write at a step where bins differ, restore, and require the identical
+    // activity schedule plus a bitwise-identical continuation.
+    auto ref = makeBinnedEvrard();
+    ref.computeForces();
+    auto live = makeBinnedEvrard();
+    live.computeForces();
+
+    // step both to a mid-cycle point with a real hierarchy
+    int head = 5;
+    for (int i = 0; i < head; ++i)
+    {
+        ref.advance();
+        live.advance();
+    }
+    const auto& ps0 = live.particles();
+    int minBin = ps0.bin[0], maxBin = ps0.bin[0];
+    for (int b : ps0.bin)
+    {
+        minBin = std::min(minBin, b);
+        maxBin = std::max(maxBin, b);
+    }
+    ASSERT_LT(minBin, maxBin) << "test premise: bins must differ at write time";
+
+    // round-trip the full state through the binary serializer
+    auto buf      = serialize(ps0, live.time(), live.step());
+    auto restored = deserialize<double>(buf);
+    for (std::size_t i = 0; i < ps0.size(); ++i)
+    {
+        ASSERT_EQ(restored.particles.bin[i], ps0.bin[i]) << i;
+        ASSERT_EQ(restored.particles.dt[i], ps0.dt[i]) << i;
+        ASSERT_EQ(restored.particles.vsig[i], ps0.vsig[i]) << i;
+    }
+
+    const auto& lctl = live.timestepController();
+    auto resumed     = makeBinnedEvrard();
+    resumed.particles() = std::move(restored.particles);
+    resumed.restoreFromCheckpoint(restored.time, restored.step, lctl.currentDt(),
+                                  live.maxVsignal(), lctl.baseDt(),
+                                  lctl.cycleStart());
+
+    // identical activity schedule and bitwise continuation across (at least)
+    // one full hierarchy cycle
+    int tail = 1 << std::max(2, lctl.maxUsedBin());
+    for (int i = 0; i < tail; ++i)
+    {
+        auto repRef = ref.advance();
+        auto repRes = resumed.advance();
+        ASSERT_EQ(repRes.activeParticles, repRef.activeParticles) << "step " << i;
+        ASSERT_EQ(repRes.dt, repRef.dt) << "step " << i;
+    }
+    const auto& a = ref.particles();
+    const auto& b = resumed.particles();
+    for (std::size_t i = 0; i < a.size(); ++i)
+    {
+        ASSERT_EQ(a.x[i], b.x[i]) << i;
+        ASSERT_EQ(a.vx[i], b.vx[i]) << i;
+        ASSERT_EQ(a.u[i], b.u[i]) << i;
+        ASSERT_EQ(a.dt[i], b.dt[i]) << i;
+        ASSERT_EQ(a.bin[i], b.bin[i]) << i;
+    }
+    EXPECT_EQ(resumed.timestepController().cycleStart(), ref.timestepController().cycleStart());
 }
 
 // --- optimal interval ------------------------------------------------------------

@@ -230,17 +230,29 @@ TEST(Timestepping, BinsArePowersOfTwo)
         ps.h[i] = 0.1 * double(1 << i); // dt ~ h
         ps.c[i] = 1.0;
     }
+    // the first advance is the flat initial-dt ramp (every bin 0); the
+    // second is a full synchronization that derives the real hierarchy
+    ctl.advance(ps, 1.0);
+    for (std::size_t i = 0; i < 6; ++i)
+    {
+        EXPECT_EQ(ps.bin[i], 0) << "first step must be flat";
+    }
     ctl.advance(ps, 1.0);
     for (std::size_t i = 0; i < 6; ++i)
     {
         EXPECT_GE(ps.bin[i], 0);
         EXPECT_LE(ps.bin[i], 4);
+        // snapped per-particle step: exactly baseDt * 2^bin
+        EXPECT_DOUBLE_EQ(ps.dt[i], ctl.baseDt() * double(1 << ps.bin[i]));
     }
-    // larger h -> larger dt -> larger or equal bin
+    // larger h -> larger dt -> larger or equal bin, and the factor-32 h
+    // spread must actually populate distinct bins
     for (std::size_t i = 1; i < 6; ++i)
     {
         EXPECT_GE(ps.bin[i], ps.bin[i - 1]);
     }
+    EXPECT_GT(ps.bin[5], ps.bin[0]);
+    EXPECT_EQ(ctl.maxUsedBin(), ps.bin[5]);
 }
 
 // --- parent-code profiles ----------------------------------------------------------
