@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file density_kernel.hpp
+/// Stateless per-particle density kernels (phase E of Algorithm 1), one per
+/// backend. The dispatch shell lives in sph/density.hpp; these functions
+/// hold the physics: the kx / d(kx)/dh sums over one neighbor row and the
+/// vol/rho/gradh epilogue.
+
+#include <cmath>
+#include <cstddef>
+
+#include "backend/lane_kernel.hpp"
+#include "backend/simd_tile.hpp"
+#include "domain/box.hpp"
+#include "math/vec.hpp"
+#include "sph/particles.hpp"
+
+namespace sphexa::backend {
+
+/// Shared epilogue: kx -> volume element, density, grad-h term.
+template<class T>
+inline void densityEpilogue(ParticleSet<T>& ps, std::size_t i, T hi, T kx, T dkxh)
+{
+    ps.vol[i] = ps.xmass[i] / kx;
+    ps.rho[i] = ps.m[i] * kx / ps.xmass[i];
+    // Omega_a = 1 + h/(3 kx) * d(kx)/dh
+    ps.gradh[i] = T(1) + hi / (T(3) * kx) * dkxh;
+    // guard against pathological neighbor geometry
+    if (!(ps.gradh[i] > T(0.1)) || !(ps.gradh[i] < T(10)))
+    {
+        ps.gradh[i] = T(1);
+    }
+}
+
+/// Scalar reference: the seed's per-pair loop, verbatim.
+template<class T, class KernelT, class Index>
+inline void densityParticle(ParticleSet<T>& ps, std::size_t i, const Index* nbrs,
+                            std::size_t count, const KernelT& kernel, const Box<T>& box)
+{
+    T hi = ps.h[i];
+    Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
+
+    // self contribution
+    T kx   = ps.xmass[i] * kernel.value(T(0), hi);
+    T dkxh = ps.xmass[i] * kernel.dh(T(0), hi);
+
+    for (std::size_t k = 0; k < count; ++k)
+    {
+        Index j   = nbrs[k];
+        Vec3<T> d = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
+        T r = norm(d);
+        kx += ps.xmass[j] * kernel.value(r, hi);
+        dkxh += ps.xmass[j] * kernel.dh(r, hi);
+    }
+
+    densityEpilogue(ps, i, hi, kx, dkxh);
+}
+
+/// Simd lane tiles: gathered xmass/coordinate batches, per-lane partial kx
+/// and d(kx)/dh, fixed-order lane reduction. Per-pair arithmetic replicates
+/// the Scalar expressions (q = r/h divisions included); only the summation
+/// association differs.
+template<class T, class Index>
+inline void densityParticleSimd(ParticleSet<T>& ps, std::size_t i, const Index* nbrs,
+                                std::size_t count, const LaneKernel<T>& lanes,
+                                const PeriodicWrap<T>& wrap)
+{
+    constexpr std::size_t W = kLaneWidth;
+    const T hi = ps.h[i];
+    const T h3 = hi * hi * hi;
+    const T h4 = hi * hi * hi * hi;
+    const T xi = ps.x[i], yi = ps.y[i], zi = ps.z[i];
+
+    T accKx[W] = {};
+    T accDk[W] = {};
+
+    for (std::size_t base = 0; base < count; base += W)
+    {
+        std::size_t j[W];
+        T valid[W], q[W], f[W], df[W], xm[W];
+        tileIndices<T>(nbrs, base, count, j, valid);
+        for (std::size_t l = 0; l < W; ++l)
+        {
+            T dx = wrap.x(xi - ps.x[j[l]]);
+            T dy = wrap.y(yi - ps.y[j[l]]);
+            T dz = wrap.z(zi - ps.z[j[l]]);
+            T r  = std::sqrt(dx * dx + dy * dy + dz * dz);
+            q[l]  = r / hi;
+            xm[l] = ps.xmass[j[l]];
+        }
+        lanes.fdf(q, f, df);
+        for (std::size_t l = 0; l < W; ++l)
+        {
+            accKx[l] += valid[l] * (xm[l] * (f[l] / h3));
+            accDk[l] += valid[l] * (xm[l] * (-(T(3) * f[l] + q[l] * df[l]) / h4));
+        }
+    }
+
+    // self contribution (q = 0 is exact for every kernel type, see
+    // lane_kernel.hpp) + fixed-order lane reduction
+    T f0, df0;
+    lanes.fdf(T(0), f0, df0);
+    T kx   = ps.xmass[i] * (f0 / h3) + laneSum(accKx);
+    T dkxh = ps.xmass[i] * (-(T(3) * f0 + T(0) * df0) / h4) + laneSum(accDk);
+
+    densityEpilogue(ps, i, hi, kx, dkxh);
+}
+
+} // namespace sphexa::backend

@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file lane_kernel.hpp
+/// Branch-free lane evaluation of the SPH kernel shape functions f(q) and
+/// f'(q) for the Simd backend.
+///
+/// The closed-form families (spline, Wendland, spiky) replicate the exact
+/// FP expression sequence of Kernel<T>::fq/dfq (sph/kernels.hpp) with the
+/// piecewise branches turned into selects: a lane's value is bitwise the
+/// value the Scalar path computes for the same pair, so Simd-vs-Scalar
+/// differences for these kernels come from neighbor-sum re-association
+/// alone (tight tolerance gates in tests/test_backend.cpp).
+///
+/// The sinc family has no branch-free closed form (std::pow of a
+/// transcendental per pair — also the Scalar path's dominant cost); the
+/// lane path evaluates it through the existing math/lookup_table.hpp
+/// tabulation of the normalized shape, SPHYNX-style. That is an
+/// approximation (~1e-8 relative at the default 20000 samples), so sinc
+/// Simd-vs-Scalar gates are correspondingly looser — and the table is why
+/// the Simd backend beats Scalar by far more than lane parallelism alone
+/// on the default sinc configuration (BENCH_simd.json).
+///
+/// At q = 0 the table returns its exact first sample fq(0), so self
+/// contributions match the Scalar path bitwise for every kernel type.
+
+#include <cstddef>
+
+#include "backend/simd_tile.hpp"
+#include "math/lookup_table.hpp"
+#include "sph/kernels.hpp"
+
+namespace sphexa {
+
+/// Immutable lane evaluator for one kernel; cheap to share across threads
+/// (like Kernel, all evaluation is const). Drivers own one per simulation
+/// and hand it to the phase shells via ComputeBackend.
+template<class T>
+class LaneKernel
+{
+public:
+    static constexpr std::size_t defaultTableSize = 20000;
+
+    explicit LaneKernel(const Kernel<T>& kernel, std::size_t tableSize = defaultTableSize)
+        : type_(kernel.type()), sigma_(kernel.normalization())
+    {
+        if (type_ == KernelType::Sinc)
+        {
+            fTable_  = LookupTable<T>([&](T q) { return kernel.fq(q); }, T(0),
+                                      Kernel<T>::supportRadius, tableSize);
+            dfTable_ = LookupTable<T>([&](T q) { return kernel.dfq(q); }, T(0),
+                                      Kernel<T>::supportRadius, tableSize);
+        }
+    }
+
+    KernelType type() const { return type_; }
+
+    /// Single-lane f(q), f'(q) (sigma included, zero at q >= 2): the self-
+    /// contribution path (q = 0) and scalar epilogues.
+    void fdf(T q, T& f, T& df) const
+    {
+        T fq[backend::kLaneWidth] = {};
+        T dfq[backend::kLaneWidth] = {};
+        T qq[backend::kLaneWidth] = {};
+        qq[0] = q;
+        fdf(qq, fq, dfq);
+        f  = fq[0];
+        df = dfq[0];
+    }
+
+    /// One tile of f(q), f'(q), branch-free across lanes. Lanes with
+    /// q >= supportRadius produce exact zeros (select for the closed forms,
+    /// the clamped-to-zero last table sample for sinc), so padded or
+    /// out-of-support lanes never contaminate accumulators.
+    void fdf(const T (&q)[backend::kLaneWidth], T (&f)[backend::kLaneWidth],
+             T (&df)[backend::kLaneWidth]) const
+    {
+        constexpr std::size_t W = backend::kLaneWidth;
+        switch (type_)
+        {
+            case KernelType::Sinc:
+                for (std::size_t l = 0; l < W; ++l)
+                {
+                    f[l]  = fTable_(q[l]);
+                    df[l] = dfTable_(q[l]);
+                }
+                break;
+            case KernelType::CubicSpline:
+                for (std::size_t l = 0; l < W; ++l)
+                {
+                    T qq = q[l];
+                    T t  = T(2) - qq;
+                    T fi = T(1) - T(1.5) * qq * qq + T(0.75) * qq * qq * qq;
+                    T fo = T(0.25) * t * t * t;
+                    T di = -T(3) * qq + T(2.25) * qq * qq;
+                    T dq = -T(0.75) * t * t;
+                    T fr = qq < T(1) ? fi : fo;
+                    T dr = qq < T(1) ? di : dq;
+                    f[l]  = qq >= T(2) ? T(0) : sigma_ * fr;
+                    df[l] = qq >= T(2) ? T(0) : sigma_ * dr;
+                }
+                break;
+            case KernelType::WendlandC2:
+                for (std::size_t l = 0; l < W; ++l)
+                {
+                    T qq = q[l];
+                    T t  = T(1) - qq / 2;
+                    T t2 = t * t;
+                    T fr = t2 * t2 * (T(2) * qq + T(1));
+                    T dr = -T(5) * qq * t * t * t;
+                    f[l]  = qq >= T(2) ? T(0) : sigma_ * fr;
+                    df[l] = qq >= T(2) ? T(0) : sigma_ * dr;
+                }
+                break;
+            case KernelType::WendlandC4:
+                for (std::size_t l = 0; l < W; ++l)
+                {
+                    T qq = q[l];
+                    T t  = T(1) - qq / 2;
+                    T t2 = t * t;
+                    T fr = t2 * t2 * t2 * ((T(35) / 12) * qq * qq + T(3) * qq + T(1));
+                    T dr = -(T(7) / 3) * qq * (T(5) * qq + T(2)) * t2 * t2 * t;
+                    f[l]  = qq >= T(2) ? T(0) : sigma_ * fr;
+                    df[l] = qq >= T(2) ? T(0) : sigma_ * dr;
+                }
+                break;
+            case KernelType::WendlandC6:
+                for (std::size_t l = 0; l < W; ++l)
+                {
+                    T qq = q[l];
+                    T t  = T(1) - qq / 2;
+                    T t2 = t * t;
+                    T t4 = t2 * t2;
+                    T fr = t4 * t4 *
+                           (T(4) * qq * qq * qq + (T(25) / 4) * qq * qq + T(4) * qq + T(1));
+                    T dr = -(T(11) / 4) * qq * (T(8) * qq * qq + T(7) * qq + T(2)) * t4 *
+                           t2 * t;
+                    f[l]  = qq >= T(2) ? T(0) : sigma_ * fr;
+                    df[l] = qq >= T(2) ? T(0) : sigma_ * dr;
+                }
+                break;
+            case KernelType::DebrunSpiky:
+                for (std::size_t l = 0; l < W; ++l)
+                {
+                    T qq = q[l];
+                    T t  = T(2) - qq;
+                    T fr = t * t * t;
+                    T dr = -T(3) * t * t;
+                    f[l]  = qq >= T(2) ? T(0) : sigma_ * fr;
+                    df[l] = qq >= T(2) ? T(0) : sigma_ * dr;
+                }
+                break;
+        }
+    }
+
+private:
+    KernelType type_;
+    T sigma_;
+    LookupTable<T> fTable_;  ///< sinc only: sigma-included f(q) over [0, 2]
+    LookupTable<T> dfTable_; ///< sinc only: sigma-included f'(q)
+};
+
+} // namespace sphexa

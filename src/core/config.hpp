@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <string>
 
+#include "backend/kernel_backend.hpp"
 #include "core/phases.hpp"
 #include "math/vec.hpp"
 #include "parallel/schedulers.hpp"
@@ -182,20 +183,29 @@ struct SimulationConfig
     SfcCurve sfcCurve = SfcCurve::Morton;
     /// Global-walk neighbor discovery shape. ClusterList implies the SFC
     /// reorder below (clusters are runs of consecutive particles, tight
-    /// only in curve order). TreeWalk is the default for bitwise
-    /// continuity with the seed ordering, not for speed — the cluster
-    /// path wins from ~1e5 particles up (BENCH_neighbors.json).
-    NeighborSearchMode searchMode = NeighborSearchMode::TreeWalk;
+    /// only in curve order) and is the default: the cluster path wins from
+    /// ~1e5 particles up (BENCH_neighbors.json) and is bitwise-equivalent
+    /// to TreeWalk on every downstream field. Select TreeWalk for the
+    /// subset/per-rank walk shapes or to pin the unreordered seed layout.
+    NeighborSearchMode searchMode = NeighborSearchMode::ClusterList;
     /// Particles per cluster in ClusterList mode: large enough to amortize
     /// one tree traversal, small enough to keep the cluster's candidate
     /// superset tight (~2x the per-particle candidates at 32).
     unsigned clusterSize = 32;
     /// Physically reorder the ParticleSet along the SFC each step (phase L,
     /// tree/sfc_sort.hpp) even in TreeWalk mode — cache locality without
-    /// the cluster lists. Forced on by ClusterList mode.
-    bool sfcReorder = false;
+    /// the cluster lists. Forced on by ClusterList mode (so the default
+    /// pipeline runs reordered); turn both off to pin the seed layout.
+    bool sfcReorder = true;
     bool parallelTreeBuild = false;  ///< SPHYNX v1.3.1 built its tree serially
     bool symmetrizeNeighbors = true; ///< exact pairwise momentum conservation
+
+    /// Compute backend of the hot SPH sums (phases E-H): the Scalar
+    /// reference loops, or the lane-tiled Simd kernels in src/backend/.
+    /// Simd is gated against Scalar by relative tolerance (the neighbor-sum
+    /// association differs), and is itself bitwise pool- and strategy-
+    /// invariant; see docs/ARCHITECTURE.md "Backend layer".
+    KernelBackend kernelBackend = KernelBackend::Scalar;
 
     // --- CS features (Table 4), used by the distributed driver ---
     DecompositionMethod decomposition = DecompositionMethod::SpaceFillingCurve;

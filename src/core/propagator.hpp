@@ -310,7 +310,8 @@ PhaseOp<T> density()
                 vePol.awfWeights = nullptr;
                 computeVolumeElementWeights(ctx.ps, ctx.cfg.volumeElements,
                                             ctx.cfg.veExponent, vePol);
-                computeDensity(ctx.ps, ctx.nl, ctx.kernel, ctx.box, ctx.activeSpan(), pol);
+                computeDensity(ctx.ps, ctx.nl, ctx.kernel, ctx.box, ctx.activeSpan(), pol,
+                               ctx.computeBackend());
             }};
 }
 
@@ -339,7 +340,8 @@ PhaseOp<T> eosAndIad()
                     eosPol);
                 if (ctx.cfg.gradients == GradientMode::IAD)
                 {
-                    computeIadCoefficients(ps, ctx.nl, ctx.kernel, ctx.box, act, pol);
+                    computeIadCoefficients(ps, ctx.nl, ctx.kernel, ctx.box, act, pol,
+                                           ctx.computeBackend());
                 }
             }};
 }
@@ -350,7 +352,8 @@ PhaseOp<T> divCurl()
     return {Phase::G_DivCurl, [](StepContext<T>& ctx) {
                 if (ctx.skipEmptyWalk()) return;
                 computeDivCurl(ctx.ps, ctx.nl, ctx.kernel, ctx.box, ctx.cfg.gradients,
-                               ctx.activeSpan(), ctx.loopPolicy(Phase::G_DivCurl));
+                               ctx.activeSpan(), ctx.loopPolicy(Phase::G_DivCurl),
+                               ctx.computeBackend());
             }};
 }
 
@@ -362,7 +365,8 @@ PhaseOp<T> momentumEnergy()
                 auto stats = computeMomentumEnergy(ctx.ps, ctx.nl, ctx.kernel, ctx.box,
                                                    ctx.cfg.gradients, ctx.cfg.av,
                                                    ctx.activeSpan(),
-                                                   ctx.loopPolicy(Phase::H_MomentumEnergy));
+                                                   ctx.loopPolicy(Phase::H_MomentumEnergy),
+                                                   ctx.computeBackend());
                 ctx.maxVsignal = stats.maxVsignal;
             }};
 }

@@ -30,6 +30,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "backend/lane_kernel.hpp"
 #include "core/config.hpp"
 #include "core/propagator.hpp"
 #include "core/step_context.hpp"
@@ -52,6 +53,7 @@ public:
         , eos_(std::move(eos))
         , cfg_(std::move(cfg))
         , kernel_(cfg_.kernel, cfg_.sincExponent)
+        , laneKernel_(kernel_)
         , nl_(ps_.size(), cfg_.ngmax)
         , controller_(cfg_.timestep)
         , pipeline_(PipelineFactory<T>::singleRank(cfg_))
@@ -271,6 +273,7 @@ private:
         ctx.awf        = &awf_; // AWF weights persist across the driver's steps
         ctx.sorter     = &sorter_;    // phase L key/perm buffers persist too,
         ctx.clusters   = &clusterWs_; // as does the cluster-search scratch
+        ctx.laneKernel = &laneKernel_; // Simd backend tables persist as well
         // active-subset walks only under the binned integrator: mixing a
         // subset force pass with the global kick (stale du on inactive
         // particles) would silently violate the trapezoid energy update, so
@@ -305,6 +308,7 @@ private:
     Eos<T> eos_;
     SimulationConfig<T> cfg_;
     Kernel<T> kernel_;
+    LaneKernel<T> laneKernel_; ///< Simd-backend lane tables, built once
     Octree<T> tree_;
     NeighborList<T> nl_;
     GravitySolver<T> gravity_;

@@ -30,6 +30,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "backend/lane_kernel.hpp"
 #include "core/config.hpp"
 #include "core/propagator.hpp"
 #include "core/simulation.hpp"
@@ -104,6 +105,7 @@ public:
         , eos_(std::move(eos))
         , cfg_(std::move(cfg))
         , kernel_(cfg_.kernel, cfg_.sincExponent)
+        , laneKernel_(kernel_)
         , pipeline_(PipelineFactory<T>::distributed(cfg_))
         , locals_(nRanks)
         , maps_(nRanks)
@@ -298,6 +300,7 @@ private:
                                           rankTree_[r], rankNl_[r]});
             auto& ctx    = ctxs.back();
             ctx.awf      = &rankAwf_[r]; // per-rank AWF weights persist across steps
+            ctx.laneKernel = &laneKernel_; // shared: lane tables are read-only
             ctx.walkMode = WalkMode::LocalIndices;
             ctx.walkIndices.resize(nLocal_[r]);
             std::iota(ctx.walkIndices.begin(), ctx.walkIndices.end(), std::size_t(0));
@@ -527,6 +530,7 @@ private:
     Eos<T> eos_;
     SimulationConfig<T> cfg_;
     Kernel<T> kernel_;
+    LaneKernel<T> laneKernel_; ///< Simd-backend lane tables, built once
     Propagator<T> pipeline_;
     PhaseEventLog* log_{nullptr};
 

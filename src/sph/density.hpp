@@ -18,9 +18,14 @@
 /// generalized to VE weights) is accumulated in the same pass.
 
 #include <cmath>
+#include <optional>
 #include <span>
+#include <type_traits>
 #include <utility>
 
+#include "backend/density_kernel.hpp"
+#include "backend/kernel_backend.hpp"
+#include "backend/lane_kernel.hpp"
 #include "domain/box.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sph/kernels.hpp"
@@ -63,45 +68,51 @@ void computeVolumeElementWeights(ParticleSet<T>& ps, VolumeElements ve, T expone
         policy);
 }
 
-/// Density summation (step 3 of Algorithm 1, first SPH kernel).
+/// Density summation (step 3 of Algorithm 1, first SPH kernel): a dispatch
+/// shell over the stateless per-particle kernels in
+/// backend/density_kernel.hpp, selected by \p be (Scalar when defaulted).
 ///
 /// Reads x/y/z, h, m, xmass and the neighbor lists; writes kx-based volume
-/// vol, density rho and the grad-h term gradh (Omega_a).
+/// vol, density rho and the grad-h term gradh (Omega_a). Lane evaluation
+/// covers the analytic Kernel only; other kernel types (TabulatedKernel)
+/// always run the Scalar reference path.
 template<class T, class KernelT>
 void computeDensity(ParticleSet<T>& ps, const NeighborList<T>& nl, const KernelT& kernel,
                     const Box<T>& box,
                     std::type_identity_t<std::span<const std::size_t>> active = {},
-                    const LoopPolicy& policy = {})
+                    const LoopPolicy& policy = {}, const ComputeBackend<T>& be = {})
 {
     std::size_t count = active.empty() ? ps.size() : active.size();
+    if constexpr (std::is_same_v<KernelT, Kernel<T>>)
+    {
+        if (be.kind == KernelBackend::Simd)
+        {
+            std::optional<LaneKernel<T>> transient;
+            const LaneKernel<T>* lanes = be.lanes;
+            if (!lanes)
+            {
+                transient.emplace(kernel);
+                lanes = &*transient;
+            }
+            const backend::PeriodicWrap<T> wrap(box);
+            parallelFor(
+                count,
+                [&](std::size_t idx, std::size_t) {
+                    std::size_t i = active.empty() ? idx : active[idx];
+                    auto row = nl.row(i);
+                    backend::densityParticleSimd(ps, i, row.data, row.count, *lanes,
+                                                 wrap);
+                },
+                policy);
+            return;
+        }
+    }
     parallelFor(
         count,
         [&](std::size_t idx, std::size_t) {
             std::size_t i = active.empty() ? idx : active[idx];
-            T hi  = ps.h[i];
-            Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
-
-            // self contribution
-            T kx   = ps.xmass[i] * kernel.value(T(0), hi);
-            T dkxh = ps.xmass[i] * kernel.dh(T(0), hi);
-
-            for (auto j : nl.neighbors(i))
-            {
-                Vec3<T> d = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
-                T r = norm(d);
-                kx += ps.xmass[j] * kernel.value(r, hi);
-                dkxh += ps.xmass[j] * kernel.dh(r, hi);
-            }
-
-            ps.vol[i] = ps.xmass[i] / kx;
-            ps.rho[i] = ps.m[i] * kx / ps.xmass[i];
-            // Omega_a = 1 + h/(3 kx) * d(kx)/dh
-            ps.gradh[i] = T(1) + hi / (T(3) * kx) * dkxh;
-            // guard against pathological neighbor geometry
-            if (!(ps.gradh[i] > T(0.1)) || !(ps.gradh[i] < T(10)))
-            {
-                ps.gradh[i] = T(1);
-            }
+            auto row = nl.row(i);
+            backend::densityParticle(ps, i, row.data, row.count, kernel, box);
         },
         policy);
 }

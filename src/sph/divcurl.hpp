@@ -8,9 +8,14 @@
 /// square patch, which is exactly such a flow.
 
 #include <cmath>
+#include <optional>
 #include <span>
+#include <type_traits>
 #include <utility>
 
+#include "backend/divcurl_kernel.hpp"
+#include "backend/kernel_backend.hpp"
+#include "backend/lane_kernel.hpp"
 #include "domain/box.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sph/iad.hpp"
@@ -24,48 +29,46 @@ namespace sphexa {
 /// ps.balsara limiter for every particle in `active` (all particles when
 /// empty). Gradients use IAD coefficients or plain kernel derivatives
 /// according to `mode`; requires density/volume and, for IAD, the phase-F
-/// coefficients to be up to date.
+/// coefficients to be up to date. A dispatch shell over
+/// backend/divcurl_kernel.hpp, selected by \p be (Scalar when defaulted;
+/// lane evaluation covers the analytic Kernel only).
 template<class T, class KernelT>
 void computeDivCurl(ParticleSet<T>& ps, const NeighborList<T>& nl, const KernelT& kernel,
                     const Box<T>& box, GradientMode mode,
                     std::type_identity_t<std::span<const std::size_t>> active = {},
-                    const LoopPolicy& policy = {})
+                    const LoopPolicy& policy = {}, const ComputeBackend<T>& be = {})
 {
     std::size_t count = active.empty() ? ps.size() : active.size();
+    if constexpr (std::is_same_v<KernelT, Kernel<T>>)
+    {
+        if (be.kind == KernelBackend::Simd)
+        {
+            std::optional<LaneKernel<T>> transient;
+            const LaneKernel<T>* lanes = be.lanes;
+            if (!lanes)
+            {
+                transient.emplace(kernel);
+                lanes = &*transient;
+            }
+            const backend::PeriodicWrap<T> wrap(box);
+            parallelFor(
+                count,
+                [&](std::size_t idx, std::size_t) {
+                    std::size_t i = active.empty() ? idx : active[idx];
+                    auto row = nl.row(i);
+                    backend::divCurlParticleSimd(ps, i, row.data, row.count, *lanes,
+                                                 wrap, mode);
+                },
+                policy);
+            return;
+        }
+    }
     parallelFor(
         count,
         [&](std::size_t idx, std::size_t) {
             std::size_t i = active.empty() ? idx : active[idx];
-            Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
-            Vec3<T> vi{ps.vx[i], ps.vy[i], ps.vz[i]};
-            T div = T(0);
-            Vec3<T> curl{};
-
-            for (auto j : nl.neighbors(i))
-            {
-                Vec3<T> rab = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]});
-                T r = norm(rab);
-                Vec3<T> gw;
-                if (mode == GradientMode::IAD)
-                {
-                    gw = iadGradient(ps, i, -rab, r, kernel);
-                }
-                else
-                {
-                    if (r <= T(0)) continue;
-                    gw = rab * (kernel.derivative(r, ps.h[i]) / r);
-                }
-                Vec3<T> vab = vi - Vec3<T>{ps.vx[j], ps.vy[j], ps.vz[j]};
-                T Vb = ps.vol[j];
-                // div v = -sum_b V_b v_ab . grad W ; curl v = +sum_b V_b v_ab x grad W
-                div -= Vb * dot(vab, gw);
-                curl += Vb * cross(vab, gw);
-            }
-
-            ps.divv[i]  = div;
-            ps.curlv[i] = norm(curl);
-            T denom = std::abs(div) + ps.curlv[i] + T(1e-4) * ps.c[i] / ps.h[i];
-            ps.balsara[i] = denom > T(0) ? std::abs(div) / denom : T(1);
+            auto row = nl.row(i);
+            backend::divCurlParticle(ps, i, row.data, row.count, kernel, box, mode);
         },
         policy);
 }

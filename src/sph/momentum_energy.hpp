@@ -20,10 +20,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "backend/kernel_backend.hpp"
+#include "backend/lane_kernel.hpp"
+#include "backend/momentum_kernel.hpp"
 #include "domain/box.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sph/iad.hpp"
@@ -33,32 +38,21 @@
 
 namespace sphexa {
 
-/// Artificial-viscosity parameters.
-template<class T>
-struct ArtificialViscosity
-{
-    T alpha = T(1);
-    T beta  = T(2);
-    T eps   = T(0.01);   ///< softening in mu denominator
-    bool useBalsara = true;
-};
-
-/// Result accumulated per call for time-step control.
-template<class T>
-struct MomentumEnergyStats
-{
-    T maxVsignal = T(0); ///< max signal velocity (CFL input)
-};
-
 /// Compute accelerations ax/ay/az and du/dt for all particles.
 /// Gravity is accumulated separately and must be added afterwards.
+/// A dispatch shell over backend/momentum_kernel.hpp (which also defines
+/// ArtificialViscosity and MomentumEnergyStats), selected by \p be (Scalar
+/// when defaulted; lane evaluation covers the analytic Kernel only). The
+/// shell owns the cross-particle vsig max reduction; per-particle work lives
+/// in the backend kernels.
 template<class T, class KernelT>
 MomentumEnergyStats<T> computeMomentumEnergy(ParticleSet<T>& ps, const NeighborList<T>& nl,
                                              const KernelT& kernel, const Box<T>& box,
                                              GradientMode mode,
                                              const ArtificialViscosity<T>& av = {},
                                              std::type_identity_t<std::span<const std::size_t>> active = {},
-                                             const LoopPolicy& policy = {})
+                                             const LoopPolicy& policy = {},
+                                             const ComputeBackend<T>& be = {})
 {
     std::size_t count = active.empty() ? ps.size() : active.size();
 
@@ -66,95 +60,50 @@ MomentumEnergyStats<T> computeMomentumEnergy(ParticleSet<T>& ps, const NeighborL
     // accumulation, so the result is bitwise identical for any pool size,
     // strategy, or chunk boundary
     std::vector<WorkerSlot<T>> workerVsig(parallelForWorkers());
+    auto reduceVsig = [&workerVsig] {
+        T maxVsig = T(0);
+        for (const auto& v : workerVsig)
+            maxVsig = std::max(maxVsig, v.value);
+        return MomentumEnergyStats<T>{maxVsig};
+    };
 
+    if constexpr (std::is_same_v<KernelT, Kernel<T>>)
+    {
+        if (be.kind == KernelBackend::Simd)
+        {
+            std::optional<LaneKernel<T>> transient;
+            const LaneKernel<T>* lanes = be.lanes;
+            if (!lanes)
+            {
+                transient.emplace(kernel);
+                lanes = &*transient;
+            }
+            const backend::PeriodicWrap<T> wrap(box);
+            parallelFor(
+                count,
+                [&](std::size_t idx, std::size_t worker) {
+                    std::size_t i = active.empty() ? idx : active[idx];
+                    auto row = nl.row(i);
+                    T vsigI = backend::momentumEnergyParticleSimd(ps, i, row.data,
+                                                                  row.count, *lanes,
+                                                                  wrap, mode, av);
+                    workerVsig[worker].value = std::max(workerVsig[worker].value, vsigI);
+                },
+                policy);
+            return reduceVsig();
+        }
+    }
     parallelFor(
         count,
         [&](std::size_t idx, std::size_t worker) {
-        T maxVsig = workerVsig[worker].value;
-        T vsigI   = T(0); ///< this particle's own max over its pairs
-        std::size_t i = active.empty() ? idx : active[idx];
-        Vec3<T> pi{ps.x[i], ps.y[i], ps.z[i]};
-        Vec3<T> vi{ps.vx[i], ps.vy[i], ps.vz[i]};
-        T rhoi = ps.rho[i];
-        T prhoi = ps.p[i] / (ps.gradh[i] * rhoi * rhoi);
-
-        Vec3<T> acc{};
-        T du = T(0);
-
-        for (auto j : nl.neighbors(i))
-        {
-            Vec3<T> rab = box.delta(pi, Vec3<T>{ps.x[j], ps.y[j], ps.z[j]}); // r_a - r_b
-            T r = norm(rab);
-            if (r <= T(0)) continue;
-            Vec3<T> vab = vi - Vec3<T>{ps.vx[j], ps.vy[j], ps.vz[j]};
-
-            T rhoj  = ps.rho[j];
-            T prhoj = ps.p[j] / (ps.gradh[j] * rhoj * rhoj);
-
-            // gradient terms with h_a and h_b
-            Vec3<T> gwa, gwb;
-            if (mode == GradientMode::IAD)
-            {
-                // A_ab(h_a) = C(a) (r_b - r_a) W_ab(h_a) : "toward b" sense
-                gwa = iadGradient(ps, i, -rab, r, kernel);
-                // A_ba(h_b) = C(b) (r_a - r_b) W_ab(h_b); flip to a-centric
-                SymMat3<T> cb{ps.c11[j], ps.c12[j], ps.c13[j],
-                              ps.c22[j], ps.c23[j], ps.c33[j]};
-                gwb = -(cb * rab) * kernel.value(r, ps.h[j]);
-                // note: gwa points a->b (negative radial); gwb = -C(b) r_ab W(h_b)
-                // also points a->b for isotropic C.
-            }
-            else
-            {
-                T invR = T(1) / r;
-                gwa = rab * (kernel.derivative(r, ps.h[i]) * invR);
-                gwb = rab * (kernel.derivative(r, ps.h[j]) * invR);
-            }
-
-            // pressure part: dv_a/dt -= m_b (Pa' gwa_(a->b, so sign below) ...)
-            // Using the a-centric gradient (pointing a->b when dW/dr<0):
-            //   dv_a/dt += -m_b [prhoi * gwa + prhoj * gwb]
-            acc -= ps.m[j] * (prhoi * gwa + prhoj * gwb);
-
-            // energy: du_a/dt = prhoi sum_b m_b v_ab . gwa
-            du += ps.m[j] * prhoi * dot(vab, gwa);
-
-            // artificial viscosity on the symmetrized gradient
-            T vdotr = dot(vab, rab);
-            T cbar  = T(0.5) * (ps.c[i] + ps.c[j]);
-            T vsig  = ps.c[i] + ps.c[j] - T(3) * std::min(T(0), vdotr / r);
-            maxVsig = std::max(maxVsig, vsig);
-            vsigI   = std::max(vsigI, vsig);
-            if (vdotr < T(0))
-            {
-                T hbar   = T(0.5) * (ps.h[i] + ps.h[j]);
-                T rhobar = T(0.5) * (rhoi + rhoj);
-                T mu     = hbar * vdotr / (r * r + av.eps * hbar * hbar);
-                T f      = av.useBalsara ? T(0.5) * (ps.balsara[i] + ps.balsara[j]) : T(1);
-                T piab   = f * (-av.alpha * cbar * mu + av.beta * mu * mu) / rhobar;
-                Vec3<T> gwbar = T(0.5) * (gwa + gwb);
-                acc -= ps.m[j] * piab * gwbar;
-                du += T(0.5) * ps.m[j] * piab * dot(vab, gwbar);
-            }
-        }
-
-        ps.ax[i] = acc.x;
-        ps.ay[i] = acc.y;
-        ps.az[i] = acc.z;
-        ps.du[i] = du;
-        // per-particle CFL input (individual time-stepping reads this so a
-        // quiet particle is not clamped by the loudest shock in the box);
-        // the per-worker max below is a superset, so recording it does not
-        // change the global reduction bitwise
-        ps.vsig[i] = vsigI;
-        workerVsig[worker].value = maxVsig;
+            std::size_t i = active.empty() ? idx : active[idx];
+            auto row = nl.row(i);
+            T vsigI = backend::momentumEnergyParticle(ps, i, row.data, row.count,
+                                                      kernel, box, mode, av);
+            workerVsig[worker].value = std::max(workerVsig[worker].value, vsigI);
         },
         policy);
-
-    T maxVsig = T(0);
-    for (const auto& v : workerVsig)
-        maxVsig = std::max(maxVsig, v.value);
-    return {maxVsig};
+    return reduceVsig();
 }
 
 /// Ensure neighbor lists are pair-symmetric: if j lists i, i lists j.

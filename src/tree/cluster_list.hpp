@@ -33,11 +33,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
-#include <limits>
 #include <span>
 #include <type_traits>
 #include <vector>
 
+#include "backend/simd_tile.hpp"
 #include "domain/box.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tree/neighbors.hpp"
@@ -96,16 +96,13 @@ void findNeighborsClustered(const Octree<T>& tree, std::type_identity_t<std::spa
     ws.workers.resize(WorkerPool::instance().size());
     ws.clusters = nClusters;
 
-    // Periodic-wrap constants hoisted out of the member scan. A non-periodic
-    // axis gets an infinite half-width so its wrap selects never fire; a
-    // periodic axis reproduces Box::delta exactly: the same L/2 threshold and
-    // the same single-subtraction corrections, just expressed as selects so
-    // the inner loop stays branch-free (and vectorizable).
-    const T inf = std::numeric_limits<T>::infinity();
-    const T Lx = box.length(0), Ly = box.length(1), Lz = box.length(2);
-    const T hwx = box.pbc[0] ? Lx / 2 : inf;
-    const T hwy = box.pbc[1] ? Ly / 2 : inf;
-    const T hwz = box.pbc[2] ? Lz / 2 : inf;
+    // Periodic-wrap constants hoisted out of the member scan, shared with
+    // the Simd backend tiles (backend/simd_tile.hpp): a non-periodic axis
+    // gets an infinite half-width so its wrap selects never fire; a periodic
+    // axis reproduces Box::delta exactly — same L/2 threshold, same single-
+    // subtraction corrections, just expressed as selects so the inner loop
+    // stays branch-free (and vectorizable).
+    const backend::PeriodicWrap<T> wrap(box);
 
     std::vector<WorkerSlot<std::size_t>> visited(ws.workers.size());
 
@@ -206,12 +203,9 @@ void findNeighborsClustered(const Octree<T>& tree, std::type_identity_t<std::spa
                 T r2     = radius * radius;
                 for (std::size_t k = 0; k < nCand; ++k)
                 {
-                    T dx   = pix - cxp[k];
-                    T dy   = piy - cyp[k];
-                    T dz   = piz - czp[k];
-                    dx     = dx > hwx ? dx - Lx : (dx < -hwx ? dx + Lx : dx);
-                    dy     = dy > hwy ? dy - Ly : (dy < -hwy ? dy + Ly : dy);
-                    dz     = dz > hwz ? dz - Lz : (dz < -hwz ? dz + Lz : dz);
+                    T dx   = wrap.x(pix - cxp[k]);
+                    T dy   = wrap.y(piy - cyp[k]);
+                    T dz   = wrap.z(piz - czp[k]);
                     d2p[k] = dx * dx + dy * dy + dz * dz;
                 }
                 std::size_t cnt = 0;

@@ -74,6 +74,24 @@ public:
         return {list_.data() + i * ngmax_, count_[i]};
     }
 
+    /// One particle's neighbor row — entry pointer and count from a single
+    /// lookup, the flat contiguous form the backend kernels consume
+    /// (src/backend/*_kernel.hpp). Iterable like neighbors(i).
+    struct Row
+    {
+        const Index* data;
+        std::size_t  count;
+
+        std::span<const Index> span() const { return {data, count}; }
+        const Index* begin() const { return data; }
+        const Index* end() const { return data + count; }
+        std::size_t size() const { return count; }
+        bool empty() const { return count == 0; }
+    };
+
+    /// Row accessor: both the entries and the count of particle i in one call.
+    Row row(std::size_t i) const { return {list_.data() + i * ngmax_, count_[i]}; }
+
     /// Number of particles whose neighborhood exceeded ngmax in the last fill.
     std::size_t overflowCount() const { return overflow_; }
 

@@ -1,0 +1,424 @@
+/// Backend-layer tests (src/backend/): the Simd lane kernels against the
+/// Scalar reference loops.
+///
+/// The contract under test (docs/ARCHITECTURE.md "Backend layer"):
+///  - Simd results match Scalar to relative tolerance per phase — tight
+///    (~1e-12) for the closed-form kernels whose lanes replicate the exact
+///    scalar FP expressions, looser for Sinc whose lanes read the lookup
+///    table instead of calling pow/sin per pair;
+///  - Simd results are themselves BITWISE invariant across worker-pool
+///    sizes and all six scheduling strategies (fixed-order lane reduction);
+///  - remainder tiles (count % laneWidth != 0) and empty neighbor lists
+///    are exact edge cases, not approximations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "backend/kernel_backend.hpp"
+#include "backend/lane_kernel.hpp"
+#include "backend/simd_tile.hpp"
+#include "domain/box.hpp"
+#include "ic/lattice.hpp"
+#include "math/rng.hpp"
+#include "sph/density.hpp"
+#include "sph/divcurl.hpp"
+#include "sph/eos.hpp"
+#include "sph/iad.hpp"
+#include "sph/momentum_energy.hpp"
+#include "sph/particles.hpp"
+#include "sph/smoothing_length.hpp"
+#include "tree/neighbors.hpp"
+#include "tree/octree.hpp"
+
+using namespace sphexa;
+
+namespace {
+
+struct PoolSizeGuard
+{
+    std::size_t saved;
+    explicit PoolSizeGuard(std::size_t n) : saved(WorkerPool::instance().size())
+    {
+        WorkerPool::instance().resize(n);
+    }
+    ~PoolSizeGuard() { WorkerPool::instance().resize(saved); }
+};
+
+constexpr std::array<KernelType, 6> kAllKernels{
+    KernelType::Sinc,       KernelType::CubicSpline, KernelType::WendlandC2,
+    KernelType::WendlandC4, KernelType::WendlandC6,  KernelType::DebrunSpiky};
+
+constexpr std::array<SchedulingStrategy, 6> kAllStrategies{
+    SchedulingStrategy::Static,    SchedulingStrategy::SelfScheduling,
+    SchedulingStrategy::Guided,    SchedulingStrategy::Trapezoid,
+    SchedulingStrategy::Factoring, SchedulingStrategy::AdaptiveWeightedFactoring};
+
+/// Per-kernel parity tolerance: the closed-form lanes replicate the scalar
+/// per-pair expressions bitwise, so only the neighbor-sum association
+/// differs; the Sinc lanes read the LookupTable (~1e-8 per sample) instead
+/// of calling pow/sin.
+double parityTol(KernelType k) { return k == KernelType::Sinc ? 2e-6 : 1e-11; }
+
+/// A jittered periodic lattice with a smooth shear + rotation velocity
+/// field, all upstream fields (rho/vol/gradh, p/c, IAD coefficients,
+/// balsara) filled by the Scalar reference path.
+struct BackendFixture
+{
+    ParticleSetD ps;
+    Box<double> box;
+    Octree<double> tree;
+    NeighborList<double> nl{0, 384};
+    Kernel<double> kernel;
+
+    explicit BackendFixture(KernelType type, std::size_t side = 10, double jitter = 0.2,
+                            bool periodic = true)
+        : box({0, 0, 0}, {1, 1, 1}, periodic, periodic, periodic), kernel(type)
+    {
+        cubicLattice(ps, side, side, side, box);
+        double dx = 1.0 / double(side);
+        if (jitter > 0) jitterPositions(ps, box, dx, jitter, 42);
+        for (std::size_t i = 0; i < ps.size(); ++i)
+        {
+            ps.m[i] = 1.0 / double(ps.size());
+            ps.h[i] = initialSmoothingLength(ps.size(), box, 60u);
+            ps.u[i] = 1.0;
+            // smooth, non-trivial velocity field: shear + rigid rotation
+            ps.vx[i] = 0.3 * ps.y[i] - 0.1 * ps.z[i];
+            ps.vy[i] = -0.2 * ps.x[i] + 0.05 * std::sin(6.28 * ps.z[i]);
+            ps.vz[i] = 0.15 * ps.x[i] + 0.1 * ps.y[i];
+        }
+        tree.build(ps.x, ps.y, ps.z, box);
+        nl.reset(ps.size(), 384);
+        SmoothingLengthParams<double> hp;
+        hp.targetNeighbors = 60;
+        hp.tolerance       = 10;
+        updateSmoothingLengths(ps, tree, nl, hp);
+        symmetrizeNeighborList(nl);
+        fillUpstream(ps);
+    }
+
+    /// Scalar prerequisites for the phase under test: density, EOS, IAD
+    /// coefficients and the div/curl (balsara) pass.
+    void fillUpstream(ParticleSetD& target) const
+    {
+        computeVolumeElementWeights(target, VolumeElements::Standard);
+        computeDensity(target, nl, kernel, box);
+        Eos<double> eos{IdealGasEos<double>(5.0 / 3.0)};
+        for (std::size_t i = 0; i < target.size(); ++i)
+        {
+            auto res    = eos(target.rho[i], target.u[i]);
+            target.p[i] = res.pressure;
+            target.c[i] = res.soundSpeed;
+        }
+        computeIadCoefficients(target, nl, kernel, box);
+        computeDivCurl(target, nl, kernel, box, GradientMode::IAD);
+    }
+};
+
+ComputeBackend<double> simd() { return {KernelBackend::Simd, nullptr}; }
+
+/// |a-b| <= tol * scale, with scale the max magnitude of the reference
+/// field (mixed abs/rel: fields like ax hover near zero on near-uniform
+/// sets, where a pure relative gate is meaningless).
+void expectFieldNear(const std::vector<double>& ref, const std::vector<double>& got,
+                     double tol, const char* what)
+{
+    ASSERT_EQ(ref.size(), got.size());
+    double scale = 1e-30;
+    for (double v : ref)
+        scale = std::max(scale, std::abs(v));
+    for (std::size_t i = 0; i < ref.size(); ++i)
+    {
+        EXPECT_NEAR(ref[i], got[i], tol * scale) << what << " i=" << i;
+    }
+}
+
+void expectFieldBitwise(const std::vector<double>& ref, const std::vector<double>& got,
+                        const char* what)
+{
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+    {
+        // exact representation match, not tolerance
+        EXPECT_EQ(ref[i], got[i]) << what << " i=" << i;
+    }
+}
+
+} // namespace
+
+// --- LaneKernel vs Kernel, single-lane -------------------------------------
+
+TEST(LaneKernel, MatchesKernelAcrossSupport)
+{
+    for (KernelType type : kAllKernels)
+    {
+        Kernel<double> kernel(type);
+        LaneKernel<double> lanes(kernel);
+        double tol = type == KernelType::Sinc ? 2e-7 : 0.0;
+        for (int k = 0; k <= 2200; ++k)
+        {
+            double q = 2.2 * double(k) / 2200.0;
+            double f, df;
+            lanes.fdf(q, f, df);
+            if (tol == 0.0)
+            {
+                // closed forms replicate fq/dfq bitwise
+                EXPECT_EQ(f, kernel.fq(q)) << kernelName(type) << " q=" << q;
+                EXPECT_EQ(df, kernel.dfq(q)) << kernelName(type) << " q=" << q;
+            }
+            else
+            {
+                EXPECT_NEAR(f, kernel.fq(q), tol) << "q=" << q;
+                EXPECT_NEAR(df, kernel.dfq(q), tol * 10) << "q=" << q;
+            }
+        }
+        // the self-contribution sample must be exact for every kernel: the
+        // density self term uses q=0 and is gated bitwise elsewhere
+        double f0, df0;
+        lanes.fdf(0.0, f0, df0);
+        EXPECT_EQ(f0, kernel.fq(0.0)) << kernelName(type);
+    }
+}
+
+// --- per-phase Simd vs Scalar parity ---------------------------------------
+
+class BackendParity : public ::testing::TestWithParam<KernelType>
+{
+};
+
+TEST_P(BackendParity, DensityMatchesScalar)
+{
+    BackendFixture f(GetParam());
+    auto scalar = f.ps;
+    auto vec    = f.ps;
+    computeDensity(scalar, f.nl, f.kernel, f.box);
+    computeDensity(vec, f.nl, f.kernel, f.box, {}, {}, simd());
+    double tol = parityTol(GetParam());
+    expectFieldNear(scalar.rho, vec.rho, tol, "rho");
+    expectFieldNear(scalar.vol, vec.vol, tol, "vol");
+    expectFieldNear(scalar.gradh, vec.gradh, tol, "gradh");
+}
+
+TEST_P(BackendParity, IadCoefficientsMatchScalar)
+{
+    BackendFixture f(GetParam());
+    auto scalar = f.ps;
+    auto vec    = f.ps;
+    computeIadCoefficients(scalar, f.nl, f.kernel, f.box);
+    computeIadCoefficients(vec, f.nl, f.kernel, f.box, {}, {}, simd());
+    double tol = parityTol(GetParam());
+    expectFieldNear(scalar.c11, vec.c11, tol, "c11");
+    expectFieldNear(scalar.c12, vec.c12, tol, "c12");
+    expectFieldNear(scalar.c13, vec.c13, tol, "c13");
+    expectFieldNear(scalar.c22, vec.c22, tol, "c22");
+    expectFieldNear(scalar.c23, vec.c23, tol, "c23");
+    expectFieldNear(scalar.c33, vec.c33, tol, "c33");
+}
+
+TEST_P(BackendParity, DivCurlMatchesScalarBothGradientModes)
+{
+    for (GradientMode mode : {GradientMode::IAD, GradientMode::KernelDerivative})
+    {
+        BackendFixture f(GetParam());
+        auto scalar = f.ps;
+        auto vec    = f.ps;
+        computeDivCurl(scalar, f.nl, f.kernel, f.box, mode);
+        computeDivCurl(vec, f.nl, f.kernel, f.box, mode, {}, {}, simd());
+        double tol = parityTol(GetParam());
+        expectFieldNear(scalar.divv, vec.divv, tol, "divv");
+        expectFieldNear(scalar.curlv, vec.curlv, tol, "curlv");
+        expectFieldNear(scalar.balsara, vec.balsara, 10 * tol, "balsara");
+    }
+}
+
+TEST_P(BackendParity, MomentumEnergyMatchesScalarBothGradientModes)
+{
+    for (GradientMode mode : {GradientMode::IAD, GradientMode::KernelDerivative})
+    {
+        BackendFixture f(GetParam());
+        auto scalar = f.ps;
+        auto vec    = f.ps;
+        auto sStats = computeMomentumEnergy(scalar, f.nl, f.kernel, f.box, mode);
+        auto vStats = computeMomentumEnergy(vec, f.nl, f.kernel, f.box, mode, {}, {}, {},
+                                            simd());
+        double tol = parityTol(GetParam());
+        expectFieldNear(scalar.ax, vec.ax, tol, "ax");
+        expectFieldNear(scalar.ay, vec.ay, tol, "ay");
+        expectFieldNear(scalar.az, vec.az, tol, "az");
+        expectFieldNear(scalar.du, vec.du, tol, "du");
+        expectFieldNear(scalar.vsig, vec.vsig, tol, "vsig");
+        EXPECT_NEAR(sStats.maxVsignal, vStats.maxVsignal,
+                    tol * std::abs(sStats.maxVsignal));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, BackendParity, ::testing::ValuesIn(kAllKernels),
+                         [](const auto& info) {
+                             // display names like "M4 spline" are not valid
+                             // gtest identifiers; keep alphanumerics only
+                             std::string name(kernelName(info.param));
+                             std::erase_if(name, [](unsigned char c) {
+                                 return std::isalnum(c) == 0;
+                             });
+                             return name;
+                         });
+
+// --- parity on an open (non-periodic) box ----------------------------------
+
+TEST(BackendParityOpenBox, AllPhasesMatchScalar)
+{
+    // exercises the infinite-half-width wrap path (selects never fire)
+    BackendFixture f(KernelType::WendlandC2, 10, 0.2, /*periodic=*/false);
+    auto scalar = f.ps;
+    auto vec    = f.ps;
+    computeDensity(scalar, f.nl, f.kernel, f.box);
+    computeDensity(vec, f.nl, f.kernel, f.box, {}, {}, simd());
+    computeIadCoefficients(scalar, f.nl, f.kernel, f.box);
+    computeIadCoefficients(vec, f.nl, f.kernel, f.box, {}, {}, simd());
+    computeDivCurl(scalar, f.nl, f.kernel, f.box, GradientMode::IAD);
+    computeDivCurl(vec, f.nl, f.kernel, f.box, GradientMode::IAD, {}, {}, simd());
+    computeMomentumEnergy(scalar, f.nl, f.kernel, f.box, GradientMode::IAD);
+    computeMomentumEnergy(vec, f.nl, f.kernel, f.box, GradientMode::IAD, {}, {}, {},
+                          simd());
+    double tol = parityTol(KernelType::WendlandC2);
+    expectFieldNear(scalar.rho, vec.rho, tol, "rho");
+    expectFieldNear(scalar.c11, vec.c11, tol, "c11");
+    expectFieldNear(scalar.divv, vec.divv, tol, "divv");
+    expectFieldNear(scalar.ax, vec.ax, tol, "ax");
+    expectFieldNear(scalar.du, vec.du, tol, "du");
+}
+
+// --- Simd bitwise invariance across pools and strategies -------------------
+
+TEST(BackendInvariance, SimdBitwiseAcrossPoolsAndStrategies)
+{
+    BackendFixture f(KernelType::Sinc, 8);
+
+    // reference: pool of 1, Static
+    ParticleSetD ref;
+    {
+        PoolSizeGuard guard(1);
+        ref = f.ps;
+        computeDensity(ref, f.nl, f.kernel, f.box, {}, {}, simd());
+        computeIadCoefficients(ref, f.nl, f.kernel, f.box, {}, {}, simd());
+        computeDivCurl(ref, f.nl, f.kernel, f.box, GradientMode::IAD, {}, {}, simd());
+        computeMomentumEnergy(ref, f.nl, f.kernel, f.box, GradientMode::IAD, {}, {}, {},
+                              simd());
+    }
+
+    for (std::size_t pool : {1u, 2u, 4u})
+    {
+        PoolSizeGuard guard(pool);
+        for (SchedulingStrategy strat : kAllStrategies)
+        {
+            LoopPolicy pol;
+            pol.strategy = strat;
+            std::vector<double> awf; // AWF needs a weight vector to adapt
+            if (strat == SchedulingStrategy::AdaptiveWeightedFactoring)
+                pol.awfWeights = &awf;
+
+            auto ps = f.ps;
+            computeDensity(ps, f.nl, f.kernel, f.box, {}, pol, simd());
+            computeIadCoefficients(ps, f.nl, f.kernel, f.box, {}, pol, simd());
+            computeDivCurl(ps, f.nl, f.kernel, f.box, GradientMode::IAD, {}, pol, simd());
+            computeMomentumEnergy(ps, f.nl, f.kernel, f.box, GradientMode::IAD, {}, {},
+                                  pol, simd());
+
+            expectFieldBitwise(ref.rho, ps.rho, "rho");
+            expectFieldBitwise(ref.gradh, ps.gradh, "gradh");
+            expectFieldBitwise(ref.c11, ps.c11, "c11");
+            expectFieldBitwise(ref.c33, ps.c33, "c33");
+            expectFieldBitwise(ref.divv, ps.divv, "divv");
+            expectFieldBitwise(ref.balsara, ps.balsara, "balsara");
+            expectFieldBitwise(ref.ax, ps.ax, "ax");
+            expectFieldBitwise(ref.du, ps.du, "du");
+            expectFieldBitwise(ref.vsig, ps.vsig, "vsig");
+        }
+    }
+}
+
+// --- remainder tiles and empty neighborhoods -------------------------------
+
+TEST(BackendEdgeCases, RemainderTilesAndEmptyLists)
+{
+    // particle i carries exactly i neighbors: spans empty (0), partial
+    // tiles, exact multiples of the lane width (8, 16) and remainders
+    const std::size_t n = 2 * backend::kLaneWidth + 4; // 20 with width 8
+    BackendFixture f(KernelType::CubicSpline, 6, 0.15);
+    ASSERT_GE(f.ps.size(), n);
+
+    using Index = NeighborList<double>::Index;
+    NeighborList<double> nl(f.ps.size(), 64);
+    for (std::size_t i = 0; i < f.ps.size(); ++i)
+    {
+        std::vector<Index> nbs;
+        std::size_t want = i < n ? i : (i % n);
+        for (std::size_t j = 0; nbs.size() < want; ++j)
+        {
+            if (j == i) continue;
+            nbs.push_back(Index(j));
+        }
+        nl.set(i, nbs);
+    }
+
+    auto scalar = f.ps;
+    auto vec    = f.ps;
+    computeDensity(scalar, nl, f.kernel, f.box);
+    computeDensity(vec, nl, f.kernel, f.box, {}, {}, simd());
+    computeIadCoefficients(scalar, nl, f.kernel, f.box);
+    computeIadCoefficients(vec, nl, f.kernel, f.box, {}, {}, simd());
+    computeDivCurl(scalar, nl, f.kernel, f.box, GradientMode::IAD);
+    computeDivCurl(vec, nl, f.kernel, f.box, GradientMode::IAD, {}, {}, simd());
+    computeMomentumEnergy(scalar, nl, f.kernel, f.box, GradientMode::IAD);
+    computeMomentumEnergy(vec, nl, f.kernel, f.box, GradientMode::IAD, {}, {}, {},
+                          simd());
+
+    double tol = parityTol(KernelType::CubicSpline);
+    expectFieldNear(scalar.rho, vec.rho, tol, "rho");
+    expectFieldNear(scalar.gradh, vec.gradh, tol, "gradh");
+    expectFieldNear(scalar.c11, vec.c11, tol, "c11");
+    expectFieldNear(scalar.divv, vec.divv, tol, "divv");
+    expectFieldNear(scalar.ax, vec.ax, tol, "ax");
+    expectFieldNear(scalar.du, vec.du, tol, "du");
+
+    // the empty row (particle 0) is exact: self-only density, zero motion
+    EXPECT_EQ(scalar.rho[0], vec.rho[0]);
+    EXPECT_EQ(vec.divv[0], 0.0);
+    EXPECT_EQ(vec.ax[0], 0.0);
+    EXPECT_EQ(vec.du[0], 0.0);
+    EXPECT_EQ(vec.vsig[0], 0.0);
+}
+
+// --- dispatch plumbing ------------------------------------------------------
+
+TEST(KernelBackendConfig, EnvSelection)
+{
+    ::unsetenv("SPHEXA_KERNEL_BACKEND");
+    EXPECT_EQ(kernelBackendFromEnv(), KernelBackend::Scalar);
+    EXPECT_EQ(kernelBackendFromEnv(KernelBackend::Simd), KernelBackend::Simd);
+    ::setenv("SPHEXA_KERNEL_BACKEND", "simd", 1);
+    EXPECT_EQ(kernelBackendFromEnv(), KernelBackend::Simd);
+    ::setenv("SPHEXA_KERNEL_BACKEND", "scalar", 1);
+    EXPECT_EQ(kernelBackendFromEnv(KernelBackend::Simd), KernelBackend::Scalar);
+    ::unsetenv("SPHEXA_KERNEL_BACKEND");
+}
+
+TEST(KernelBackendConfig, TabulatedKernelFallsBackToScalar)
+{
+    // the Simd request must be a no-op (not a crash) for kernel types the
+    // lane path does not cover: results equal the Scalar reference exactly
+    BackendFixture f(KernelType::Sinc, 6);
+    TabulatedKernel<double> tab(f.kernel);
+    auto scalar = f.ps;
+    auto vec    = f.ps;
+    computeDensity(scalar, f.nl, tab, f.box);
+    computeDensity(vec, f.nl, tab, f.box, {}, {}, simd());
+    expectFieldBitwise(scalar.rho, vec.rho, "rho");
+}

@@ -312,6 +312,10 @@ TEST_P(DistributedEquivalence, MatchesSharedMemoryDriver)
     cfg.neighborTolerance = 10;
     cfg.decomposition = method;
     cfg.symmetrizeNeighbors = false; // the distributed driver can't (halo pairs)
+    // index-aligned comparison below: the distributed pipeline has no phase L,
+    // so keep the shared-memory driver on the seed layout too
+    cfg.searchMode = NeighborSearchMode::TreeWalk;
+    cfg.sfcReorder = false;
 
     Simulation<double> shared(ps, setup.box, Eos<double>(setup.eos), cfg);
     DistributedSimulation<double> dist(ps, setup.box, Eos<double>(setup.eos), cfg, P);

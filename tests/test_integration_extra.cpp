@@ -118,6 +118,10 @@ TEST(DistributedGravity, MatchesSharedMemoryDriver)
     cfg.targetNeighbors   = 50;
     cfg.neighborTolerance = 10;
     cfg.symmetrizeNeighbors = false;
+    // index-aligned comparison below: the distributed pipeline has no phase L,
+    // so keep the shared-memory driver on the seed layout too
+    cfg.searchMode = NeighborSearchMode::TreeWalk;
+    cfg.sfcReorder = false;
 
     Simulation<double> shared(ps, setup.box, Eos<double>(setup.eos), cfg);
     DistributedSimulation<double> dist(ps, setup.box, Eos<double>(setup.eos), cfg, 4);
@@ -242,6 +246,11 @@ TEST(SedovIntegration, ShockExpandsAndEnergyConserved)
 TEST(SdcLive, InjectedCorruptionCaughtMidRun)
 {
     auto s = makePatch(12, 6);
+    // the temporal detector diffs snapshots per index; the phase-L SFC
+    // reorder permutes the set between steps, which would read as mass
+    // corruption — pin the seed layout
+    s.cfg.searchMode = NeighborSearchMode::TreeWalk;
+    s.cfg.sfcReorder = false;
     Simulation<double> sim(s.ps, s.box, s.eos, s.cfg);
     sim.computeForces();
     sim.run(2);

@@ -1,0 +1,122 @@
+/// NeighborList container tests, centered on the flat-row accessor
+/// (NeighborList::row) the backend kernels consume: one lookup returning
+/// both the entry pointer and the count, aliasing the same storage as
+/// neighbors(i), iterable, and stable across steady-state resets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "tree/neighbors.hpp"
+
+using namespace sphexa;
+
+namespace {
+
+using Index = NeighborList<double>::Index;
+
+/// Fill particle i with neighbors i+1 .. i+k (mod n), a recognizable ramp.
+void fillRamp(NeighborList<double>& nl, std::size_t n, std::size_t k)
+{
+    std::vector<Index> buf;
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        buf.clear();
+        for (std::size_t j = 1; j <= k; ++j)
+            buf.push_back(Index((i + j) % n));
+        nl.set(i, buf);
+    }
+}
+
+} // namespace
+
+TEST(NeighborListRow, MatchesNeighborsSpanExactly)
+{
+    const std::size_t n = 17;
+    NeighborList<double> nl(n, 32);
+    fillRamp(nl, n, 7);
+
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        auto row  = nl.row(i);
+        auto span = nl.neighbors(i);
+        ASSERT_EQ(row.count, span.size());
+        ASSERT_EQ(row.size(), span.size());
+        // same storage, not a copy: the pointer aliases the flat list
+        EXPECT_EQ(row.data, span.data());
+        for (std::size_t k = 0; k < span.size(); ++k)
+            EXPECT_EQ(row.data[k], span[k]);
+    }
+}
+
+TEST(NeighborListRow, IsIterableAndSpanConvertible)
+{
+    NeighborList<double> nl(4, 8);
+    std::vector<Index> nbs{3, 1, 2};
+    nl.set(0, nbs);
+
+    auto row = nl.row(0);
+    EXPECT_FALSE(row.empty());
+    std::vector<Index> seen(row.begin(), row.end());
+    EXPECT_EQ(seen, nbs);
+
+    std::span<const Index> s = row.span();
+    ASSERT_EQ(s.size(), nbs.size());
+    EXPECT_TRUE(std::equal(s.begin(), s.end(), nbs.begin()));
+}
+
+TEST(NeighborListRow, EmptyRowHasZeroCount)
+{
+    NeighborList<double> nl(3, 8);
+    // counts are zeroed by reset; no set() calls
+    for (std::size_t i = 0; i < 3; ++i)
+    {
+        auto row = nl.row(i);
+        EXPECT_EQ(row.count, 0u);
+        EXPECT_TRUE(row.empty());
+        EXPECT_EQ(row.begin(), row.end());
+    }
+}
+
+TEST(NeighborListRow, RowsAreNgmaxStrided)
+{
+    const unsigned ngmax = 16;
+    NeighborList<double> nl(5, ngmax);
+    fillRamp(nl, 5, 3);
+    for (std::size_t i = 1; i < 5; ++i)
+    {
+        EXPECT_EQ(nl.row(i).data, nl.row(0).data + i * ngmax);
+    }
+}
+
+TEST(NeighborListRow, CountsCapAtNgmaxAndFlagOverflow)
+{
+    const unsigned ngmax = 4;
+    NeighborList<double> nl(2, ngmax);
+    std::vector<Index> many(10);
+    std::iota(many.begin(), many.end(), Index(0));
+    nl.set(0, many);
+
+    auto row = nl.row(0);
+    EXPECT_EQ(row.count, std::size_t(ngmax));
+    EXPECT_EQ(nl.overflowCount(), 1u);
+    for (unsigned k = 0; k < ngmax; ++k)
+        EXPECT_EQ(row.data[k], many[k]);
+}
+
+TEST(NeighborListRow, StableAcrossSteadyStateReset)
+{
+    NeighborList<double> nl(8, 16);
+    fillRamp(nl, 8, 5);
+    const Index* before = nl.row(3).data;
+
+    // same-shape reset reuses the high-water-mark allocation
+    nl.reset(8, 16);
+    EXPECT_EQ(nl.row(3).data, before);
+    EXPECT_EQ(nl.row(3).count, 0u); // counts rezeroed
+
+    fillRamp(nl, 8, 5);
+    EXPECT_EQ(nl.row(3).count, 5u);
+}

@@ -217,6 +217,11 @@ TEST(Propagator, SingleRankAndOneRankDistributedAreBitwiseIdentical)
     auto patch = makePatch();
     SimulationConfig<double> cfg = patchConfig();
     cfg.symmetrizeNeighbors = false; // the distributed driver can't (halo pairs)
+    // pin the per-particle walk over the unreordered frame: the distributed
+    // pipeline has no phase L, so the drivers only share a summation order
+    // when the shared-memory one keeps the seed layout too
+    cfg.searchMode = NeighborSearchMode::TreeWalk;
+    cfg.sfcReorder = false;
 
     Simulation<double> shared(patch.ps, patch.setup.box, Eos<double>(patch.setup.eos),
                               cfg);

@@ -28,6 +28,14 @@ relies on but the compiler never enforces (docs/ARCHITECTURE.md,
                    containers and values (the SoA layout); placement or
                    raw allocation would also break checkpoint/replication
                    assumptions.
+  simd-containment No raw vectorization outside src/backend/: intrinsic
+                   headers (immintrin.h family), _mm* intrinsics,
+                   __m128/256/512 vector types, and `#pragma omp simd`.
+                   PR 10 funneled all lane-level code through the
+                   backend kernels so the Simd path has exactly one
+                   audited reduction order; a stray intrinsic elsewhere
+                   reintroduces lane math the bitwise pool/strategy
+                   invariance suite cannot see.
 
 Exit status: 0 when clean, 1 when any violation is found (the ctest /
 CI contract). `--self-test` seeds one violation per rule into a temp tree
@@ -257,6 +265,43 @@ def check_naked_new(path: str, text: str):
     return out
 
 
+SIMD_CONTAINED = "src/backend/"
+
+SIMD_INCLUDE_RE = re.compile(
+    r"\b(immintrin|xmmintrin|emmintrin|pmmintrin|tmmintrin|smmintrin|"
+    r"nmmintrin|wmmintrin|ammintrin|x86intrin|arm_neon|arm_sve)\.h\b")
+
+SIMD_PATTERNS = [
+    (re.compile(r"\b_mm\d*_\w+\s*\("), "_mm* intrinsic call"),
+    (re.compile(r"\b__m(128|256|512)[di]?\b"), "raw vector register type"),
+    (re.compile(r"#\s*pragma\s+omp\s+.*\bsimd\b"), "#pragma omp simd"),
+]
+
+
+def check_simd_containment(path: str, text: str):
+    if path.startswith(SIMD_CONTAINED):
+        return []
+    out = []
+    for lineno, line, raw in iter_code_lines(path, text):
+        if "simd-containment" in allowed_rules(raw):
+            continue
+        # include paths are string-ish but #include <...> survives stripping;
+        # match the quoted form on the raw line
+        if re.match(r"\s*#\s*include\b", line) and SIMD_INCLUDE_RE.search(raw):
+            out.append(Violation(
+                "simd-containment", path, lineno,
+                "intrinsics header outside src/backend/ — lane-level code "
+                "lives behind the KernelBackend dispatch seam"))
+            continue
+        for pat, what in SIMD_PATTERNS:
+            if pat.search(line):
+                out.append(Violation(
+                    "simd-containment", path, lineno,
+                    f"{what} outside src/backend/ — route lane math through "
+                    "the backend kernels (audited reduction order)"))
+    return out
+
+
 CHECKS = [
     check_raw_omp,
     check_nondeterminism,
@@ -264,6 +309,7 @@ CHECKS = [
     check_pragma_once,
     check_include_hygiene,
     check_naked_new,
+    check_simd_containment,
 ]
 
 
@@ -306,6 +352,15 @@ SELF_TEST_CASES = [
     ("naked-new", "src/perf/seeded_new.hpp",
      "#pragma once\nint* f(){ return new int(3); }\n",
      "#pragma once\n#include <vector>\nstd::vector<int> f();\n"),
+    ("simd-containment", "src/tree/seeded_simd.hpp",
+     "#pragma once\n#include <immintrin.h>\n"
+     "double f(__m256d v){ return _mm256_cvtsd_f64(v); }\n",
+     "#pragma once\n// _mm256_add_pd and __m256d in a comment are fine\n"
+     '#include "backend/simd_tile.hpp"\nvoid f();\n'),
+    ("simd-containment", "src/perf/seeded_pragma.hpp",
+     "#pragma once\nvoid f(double* a){\n"
+     "#pragma omp simd // lint:allow(raw-omp)\nfor(int i=0;i<4;++i) a[i]=0;}\n",
+     "#pragma once\nvoid f(double* a, int n);\n"),
 ]
 
 
